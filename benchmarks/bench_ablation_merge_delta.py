@@ -1,0 +1,34 @@
+"""Ablation — the Δ merge threshold of §5.1.
+
+Why 10 minutes? Too small a Δ splits one mitigation episode into several
+"events" (inflating the event count and polluting the pre-windows with
+the same attack's own traffic); far larger Δs merge unrelated episodes.
+This ablation quantifies both effects around the chosen knee.
+"""
+
+from benchmarks.conftest import once, report
+from repro.core.events import extract_events
+
+
+def test_bench_ablation_merge_delta(benchmark, pipeline):
+    def count(delta: float) -> int:
+        return len(extract_events(pipeline.control, delta=delta))
+
+    n_10min = once(benchmark, lambda: count(600.0))
+    n_1min = count(60.0)
+    n_1h = count(3_600.0)
+    n_1d = count(86_400.0)
+    report(
+        "Ablation — merge threshold Δ",
+        f"Δ=1 min:  {n_1min} events",
+        f"Δ=10 min: {n_10min} events  (the paper's choice)",
+        f"Δ=1 h:    {n_1h} events",
+        f"Δ=1 d:    {n_1d} events",
+        f"splitting cost of Δ=1 min: +{n_1min - n_10min} events "
+        f"({100 * (n_1min - n_10min) / n_10min:.1f}%)",
+        f"over-merge of Δ=1 h: -{n_10min - n_1h} events "
+        f"({100 * (n_10min - n_1h) / n_10min:.1f}%)",
+    )
+    assert n_1min >= n_10min >= n_1h >= n_1d
+    # the knee: 1 min splits noticeably more than 1 h over-merges
+    assert (n_1min - n_10min) > (n_10min - n_1h)

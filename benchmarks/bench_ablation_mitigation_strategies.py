@@ -1,0 +1,35 @@
+"""Ablation — coarse RTBH vs fine-grained port filtering (§7.2).
+
+The paper concludes that port-based blacklisting of attack traffic "is
+very effective" while RTBH throws away everything. This ablation scores
+both strategies on the full labelled corpus: attack coverage vs
+collateral rate (share of legitimate packets killed).
+"""
+
+from benchmarks.conftest import once, report
+from repro.mitigation import amplification_filter, rtbh_filter, score_mitigation
+from repro.net import IPv4Prefix
+
+EVERYTHING = IPv4Prefix(0, 0)
+
+
+def test_bench_ablation_mitigation_strategies(benchmark, scenario_result):
+    packets = scenario_result.data.packets
+
+    fine = once(benchmark, lambda: score_mitigation(
+        amplification_filter(EVERYTHING), packets))
+    coarse = score_mitigation(rtbh_filter(EVERYTHING), packets)
+
+    report(
+        "Ablation — RTBH vs fine-grained filtering (labelled ground truth)",
+        f"fine-grained: attack coverage {100 * fine.attack_coverage:.1f}%, "
+        f"collateral {100 * fine.collateral_rate:.2f}%",
+        f"coarse RTBH:  attack coverage {100 * coarse.attack_coverage:.1f}%, "
+        f"collateral {100 * coarse.collateral_rate:.2f}%",
+        "paper:    ~90% of events fully mitigable by the port list with"
+        " zero collateral; RTBH kills all legitimate traffic it covers",
+    )
+    assert fine.attack_coverage > 0.75
+    assert fine.collateral_rate < 0.05
+    assert coarse.attack_coverage > 0.99
+    assert coarse.collateral_rate > 0.99

@@ -1,0 +1,26 @@
+"""Fig. 2 — maximum-likelihood estimate of the control/data time offset.
+
+Paper: the overlap share peaks at 99.36% for an offset of −0.04 s.
+The scenario injects a −0.04 s control-plane clock skew; the estimator
+must find it, with the residual unexplained drops being the bilateral
+(non-route-server) blackholes.
+"""
+
+from benchmarks.conftest import once, report
+from repro.core.offset import time_offset_analysis
+from repro.core.plots import sparkline
+
+
+def test_bench_fig02_time_offset(benchmark, pipeline):
+    est = once(benchmark, lambda: time_offset_analysis(pipeline.control,
+                                                       pipeline.data))
+    report(
+        "Fig. 2 — control/data plane time offset (MLE)",
+        "paper:    peak overlap 99.36% at offset -0.04 s",
+        f"measured: peak overlap {100 * est.best_share:.2f}% at offset "
+        f"{est.best_offset:+.2f} s  ({est.total_packets} dropped packets)",
+        "likelihood over [-2 s, +2 s]: " ,
+        "  " + sparkline(est.overlap_share),
+    )
+    assert abs(est.best_offset - (-0.04)) < 0.0401
+    assert est.best_share > 0.85

@@ -1,0 +1,24 @@
+"""Fig. 3 — number of active parallel RTBHs and RTBH messages per minute.
+
+Paper (830 members): on average 1,107 parallel RTBH prefixes, at most
+1,400; message rate below 500/min with spikes up to 793/min. Counts scale
+linearly with the benchmark scale factor.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.core.load import rtbh_load_series
+
+
+def test_bench_fig03_rtbh_load(benchmark, pipeline):
+    series = benchmark(lambda: rtbh_load_series(pipeline.control))
+    scale_note = f"(scale {BENCH_SCALE}: paper values × {BENCH_SCALE:g})"
+    report(
+        "Fig. 3 — RTBH load over time " + scale_note,
+        f"paper:    mean active 1107, peak 1400   -> scaled {1107 * BENCH_SCALE:.0f} / {1400 * BENCH_SCALE:.0f}",
+        f"measured: mean active {series.mean_active:.0f}, peak {series.peak_active}",
+        f"paper:    message spikes up to 793/min  -> scaled {793 * BENCH_SCALE:.0f}",
+        f"measured: mean {series.mean_messages:.2f}/min, peak {series.peak_messages}/min",
+    )
+    scaled_mean = 1107 * BENCH_SCALE
+    assert 0.3 * scaled_mean < series.mean_active < 3.0 * scaled_mean
+    assert series.peak_active >= series.mean_active

@@ -1,0 +1,35 @@
+"""Fig. 12 — level and time offset of traffic anomalies in pre-RTBH
+windows.
+
+Paper: a clear trend — most anomalies occur up to ten minutes before the
+first RTBH announcement (automatic mitigation tools); usually all five
+features spike together, but single-feature anomalies exist too.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+
+
+def test_bench_fig12_anomaly_offsets(benchmark, pre_classification):
+    offsets, levels = benchmark(pre_classification.anomaly_offsets_levels)
+    within10 = float((offsets <= 10.0).mean())
+    uniform = 2 / 576  # two slots of the detectable window
+    concentration = within10 / uniform
+    level_counts = {lv: int((levels == lv).sum()) for lv in range(1, 6)}
+    report(
+        "Fig. 12 — anomaly level vs time offset before the RTBH",
+        "paper:    anomaly mass concentrates <= 10 min before the event;"
+        " usually all 5 features spike",
+        f"measured: {100 * within10:.1f}% of anomalies <= 10 min "
+        f"({concentration:.0f}x the uniform share)",
+        f"measured: level histogram {level_counts}; "
+        f"level>=4 within 10 min: "
+        f"{100 * float((offsets[levels >= 4] <= 10).mean()):.0f}%",
+    )
+    assert concentration > 5
+    assert levels.max() == 5
+    assert level_counts[1] > 0  # single-feature anomalies exist too
+    # high-level anomalies are attack onsets (amplification floods keep
+    # the destination-port feature flat, so they typically reach level 4)
+    assert (offsets[levels >= 4] <= 10.0).mean() > 0.3

@@ -1,0 +1,29 @@
+"""Table 2 — class distribution of pre-RTBH events.
+
+Paper: 46% of pre-RTBH events show no sampled data at all; 27% show data
+but no anomaly within 10 minutes; 27% show data with an anomaly within
+10 minutes. Additionally, 33% of events show an anomaly within 1 hour.
+"""
+
+from benchmarks.conftest import once, report
+from repro.core.pre_rtbh import PreRTBHClass, classify_pre_rtbh_events
+
+
+def test_bench_table2_pre_rtbh_classes(benchmark, pipeline, events):
+    classification = once(benchmark, lambda: classify_pre_rtbh_events(
+        pipeline.data, events))
+    shares = classification.class_shares()
+    within_1h = classification.anomaly_share_within(60.0)
+    report(
+        "Table 2 — pre-RTBH event classes",
+        "paper:    no data 46% | data, no anomaly 27% | anomaly <=10 min 27%",
+        "measured: no data "
+        f"{100 * shares[PreRTBHClass.NO_DATA]:.0f}% | data, no anomaly "
+        f"{100 * shares[PreRTBHClass.DATA_NO_ANOMALY]:.0f}% | anomaly <=10 min "
+        f"{100 * shares[PreRTBHClass.DATA_ANOMALY]:.0f}%",
+        f"paper:    anomaly <= 1 h: 33%   measured: {100 * within_1h:.0f}%",
+    )
+    assert 0.30 < shares[PreRTBHClass.NO_DATA] < 0.60
+    assert 0.15 < shares[PreRTBHClass.DATA_NO_ANOMALY] < 0.45
+    assert 0.15 < shares[PreRTBHClass.DATA_ANOMALY] < 0.40
+    assert within_1h >= shares[PreRTBHClass.DATA_ANOMALY]

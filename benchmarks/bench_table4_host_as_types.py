@@ -1,0 +1,46 @@
+"""Table 4 — PeeringDB AS types of detected client and server hosts.
+
+Paper: clients sit mostly in Cable/DSL/ISP networks (60%), servers in
+Content networks (34%); 23%/38% resolve to no PeeringDB entry. Over
+2,000 hosts with client traffic patterns live in ISP networks yet were
+DDoS targets.
+"""
+
+from benchmarks.conftest import once, report
+from repro.core.hosts import HostClass
+from repro.core.report import format_table
+from repro.ixp.peeringdb import OrgType
+
+
+def test_bench_table4_host_as_types(benchmark, pipeline, host_study):
+    table = once(benchmark, lambda: host_study.org_type_table(pipeline.peeringdb))
+    paper = {
+        HostClass.CLIENT: {OrgType.CONTENT: 0.02, OrgType.CABLE_DSL_ISP: 0.60,
+                           OrgType.NSP: 0.14, OrgType.ENTERPRISE: 0.01,
+                           OrgType.UNKNOWN: 0.23},
+        HostClass.SERVER: {OrgType.CONTENT: 0.34, OrgType.CABLE_DSL_ISP: 0.14,
+                           OrgType.NSP: 0.13, OrgType.ENTERPRISE: 0.01,
+                           OrgType.UNKNOWN: 0.38},
+    }
+    rows = []
+    for org in (OrgType.CONTENT, OrgType.CABLE_DSL_ISP, OrgType.NSP,
+                OrgType.ENTERPRISE, OrgType.UNKNOWN):
+        rows.append([
+            org.value,
+            f"{100 * paper[HostClass.CLIENT][org]:.0f}%",
+            f"{100 * table[HostClass.CLIENT].get(org, 0.0):.0f}%",
+            f"{100 * paper[HostClass.SERVER][org]:.0f}%",
+            f"{100 * table[HostClass.SERVER].get(org, 0.0):.0f}%",
+        ])
+    report(
+        "Table 4 — AS types of detected client/server hosts",
+        format_table(
+            ["type", "clients(paper)", "clients(measured)",
+             "servers(paper)", "servers(measured)"], rows),
+    )
+    clients = table[HostClass.CLIENT]
+    servers = table[HostClass.SERVER]
+    assert clients.get(OrgType.CABLE_DSL_ISP, 0) > 0.3
+    assert clients.get(OrgType.CABLE_DSL_ISP, 0) > clients.get(OrgType.CONTENT, 0)
+    assert servers.get(OrgType.CONTENT, 0) > 0.15
+    assert servers.get(OrgType.CONTENT, 0) > servers.get(OrgType.CABLE_DSL_ISP, 0)

@@ -1,0 +1,108 @@
+"""Shared benchmark infrastructure.
+
+One scenario corpus is generated per session at a configurable scale
+(``REPRO_BENCH_SCALE``, default 0.05 of the paper's population;
+``REPRO_BENCH_DAYS``, default the paper's 104 days) and every per-figure
+benchmark analyses it. Expensive shared intermediates (event extraction,
+pre-RTBH classification, host profiling) are session fixtures so each
+benchmark times only its own analysis.
+
+Every benchmark prints a *paper vs measured* comparison through
+:func:`report`, which bypasses pytest's capture so the rows land in the
+tee'd output file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import AnalysisPipeline
+from repro.scenario import ScenarioConfig, run_scenario
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "104"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+#: paper-vs-measured blocks are appended here as well, so the comparison
+#: survives even when output is piped
+RESULTS_PATH = Path(__file__).with_name("latest_results.txt")
+
+def pytest_configure(config):
+    RESULTS_PATH.write_text("")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every paper-vs-measured block into the terminal summary —
+    this is the same channel the benchmark table uses, so the comparison
+    survives redirects and tee."""
+    text = RESULTS_PATH.read_text() if RESULTS_PATH.exists() else ""
+    if text.strip():
+        terminalreporter.section("paper vs measured")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def report(title: str, *lines: str) -> None:
+    """Record a paper-vs-measured comparison block.
+
+    Blocks are collected in ``benchmarks/latest_results.txt`` and replayed
+    at the end of the pytest session.
+    """
+    block = [f"=== {title} ==="] + list(lines)
+    with RESULTS_PATH.open("a", encoding="utf-8") as fh:
+        fh.write("\n".join(block) + "\n\n")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ScenarioConfig:
+    return ScenarioConfig.paper(scale=BENCH_SCALE, duration_days=BENCH_DAYS,
+                                seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def scenario_result(bench_config):
+    result = run_scenario(bench_config)
+    report(
+        f"scenario (scale={BENCH_SCALE}, {BENCH_DAYS:g} days, seed={BENCH_SEED})",
+        f"members={len(result.ixp)}  planned events={len(result.plan.events)}",
+        f"control messages={len(result.control)}  sampled packets={len(result.data)}",
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def pipeline(scenario_result) -> AnalysisPipeline:
+    return AnalysisPipeline(
+        scenario_result.control,
+        scenario_result.data,
+        peer_asns=scenario_result.ixp.member_asns,
+        peeringdb=scenario_result.ixp.peeringdb,
+    )
+
+
+@pytest.fixture(scope="session")
+def events(pipeline):
+    return pipeline.events
+
+
+@pytest.fixture(scope="session")
+def pre_classification(pipeline):
+    return pipeline.pre_classification
+
+
+@pytest.fixture(scope="session")
+def event_traffic(pipeline):
+    return pipeline.event_traffic
+
+
+@pytest.fixture(scope="session")
+def host_study(pipeline):
+    return pipeline.host_study
+
+
+def once(benchmark, fn):
+    """Benchmark an expensive analysis with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

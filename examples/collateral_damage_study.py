@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Collateral-damage study (§6): who else gets hurt when a host is
+blackholed, and how much would fine-grained filtering save?
+
+Generates a corpus, detects the stable servers among the blackholed
+hosts, quantifies the legitimate traffic to their service ports that an
+RTBH throws away (Fig. 18), and contrasts that with the port-based
+filtering alternative (Fig. 14).
+
+Usage::
+
+    python examples/collateral_damage_study.py [--scale 0.02] [--days 30]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import AnalysisPipeline, ScenarioConfig, run_scenario
+from repro.core.hosts import HostClass
+from repro.core.report import format_table, pct
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--days", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    config = ScenarioConfig.paper(scale=args.scale, duration_days=args.days,
+                                  seed=args.seed)
+    result = run_scenario(config)
+    pipeline = AnalysisPipeline(result.control, result.data,
+                                peer_asns=result.ixp.member_asns,
+                                peeringdb=result.ixp.peeringdb,
+                                host_min_days=min(20, int(args.days * 0.6)))
+
+    # 1. find the servers among the blackholed hosts
+    study = pipeline.host_study
+    counts = study.counts()
+    print("== Host classification (outside RTBH activity) ==")
+    print(f"  clients: {counts[HostClass.CLIENT]}   "
+          f"servers: {counts[HostClass.SERVER]}   "
+          f"unclassified: {counts[HostClass.UNCLASSIFIED]}")
+    servers = study.classified(HostClass.SERVER)
+    rows = [[f"{np.uint32(s.ip)}", s.active_days,
+             ", ".join(f"{proto}/{port}" for proto, port in s.top_ports[:3]),
+             f"{s.port_variation:.2f}"] for s in servers[:8]]
+    print(format_table(["server ip (u32)", "days", "top ports", "variation"],
+                       rows, title="\nsample of detected servers:"))
+
+    # 2. the damage: legitimate-looking packets to service ports during events
+    print("\n== Collateral damage during RTBH events (Fig. 18) ==")
+    damage = pipeline.fig18_collateral()
+    print(f"  events with collateral traffic: {damage.events_with_collateral}")
+    if damage.records:
+        cdf = damage.cdf()
+        print(f"  sampled packets to top ports per (event, server): "
+              f"median {cdf.median:.0f}, p90 {cdf.quantile(0.9):.0f}, "
+              f"max {cdf.max:.0f}")
+        dropped = damage.total_packets(dropped_only=True)
+        total = damage.total_packets()
+        print(f"  of {total} such packets, {dropped} were really dropped "
+              f"({pct(dropped / total)}) — reachability lost for real users")
+
+    # 3. what filtering would have saved
+    print("\n== The fine-grained alternative (Fig. 14) ==")
+    cdf = pipeline.fig14_filterable()
+    print(f"  {pct(1 - cdf(0.999))} of anomaly events are *fully* stoppable "
+          "by dropping known UDP amplification ports only")
+    print(f"  median droppable share: {pct(cdf.median)}")
+    print("  -> for those events, port filters would have removed the attack"
+          " without cutting a single legitimate flow.")
+
+
+if __name__ == "__main__":
+    main()

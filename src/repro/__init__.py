@@ -1,0 +1,41 @@
+"""repro — a full reproduction of *"Down the Black Hole: Dismantling
+Operational Practices of BGP Blackholing at IXPs"* (IMC 2019).
+
+The package has three layers:
+
+1. **Substrates** (:mod:`repro.net`, :mod:`repro.bgp`,
+   :mod:`repro.dataplane`, :mod:`repro.ixp`, :mod:`repro.traffic`,
+   :mod:`repro.mitigation`) — a synthetic IXP with route server, member
+   policies, blackholing service, switching fabric and IPFIX sampling.
+2. **Scenario** (:mod:`repro.scenario`, :mod:`repro.corpus`) — generates
+   the paper-shaped measurement corpora (control-plane BGP log +
+   data-plane sampled packets).
+3. **Analysis** (:mod:`repro.core`, :mod:`repro.stats`) — the paper's
+   measurement pipeline, reproducing every figure and table.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario, AnalysisPipeline
+
+    result = run_scenario(ScenarioConfig.paper(scale=0.02, duration_days=30))
+    pipeline = AnalysisPipeline(result.control, result.data,
+                                peer_asns=result.ixp.member_asns,
+                                peeringdb=result.ixp.peeringdb)
+    print(pipeline.table2_pre_classes())
+"""
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.corpus import ControlPlaneCorpus, DataPlaneCorpus
+from repro.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisPipeline",
+    "ControlPlaneCorpus",
+    "DataPlaneCorpus",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""BGP substrate: update messages, communities (including RFC 7999
+BLACKHOLE and route-server redistribution control), RIBs with best-path
+selection, import policies, and an IXP route server with per-peer views.
+
+Only the UPDATE-level semantics the measurement study consumes are
+modelled; session management (OPEN/KEEPALIVE, timers) is out of scope.
+"""
+
+from repro.bgp.community import (
+    BLACKHOLE,
+    GRACEFUL_SHUTDOWN,
+    NO_ADVERTISE,
+    NO_EXPORT,
+    Community,
+    announce_to,
+    do_not_announce_to,
+    suppress_all,
+)
+from repro.bgp.message import BGPUpdate, UpdateAction
+from repro.bgp.route import Route
+from repro.bgp.rib import AdjRIBIn, LocRIB
+from repro.bgp.policy import (
+    AcceptAllPolicy,
+    BlackholeWhitelistPolicy,
+    FullBlackholePolicy,
+    ImportPolicy,
+    MaxPrefixLengthPolicy,
+    NoBlackholePolicy,
+    PartialBlackholePolicy,
+    PolicyDecision,
+)
+from repro.bgp.route_server import RouteServer, RouteServerPeer
+
+__all__ = [
+    "Community",
+    "BLACKHOLE",
+    "NO_EXPORT",
+    "NO_ADVERTISE",
+    "GRACEFUL_SHUTDOWN",
+    "announce_to",
+    "do_not_announce_to",
+    "suppress_all",
+    "BGPUpdate",
+    "UpdateAction",
+    "Route",
+    "AdjRIBIn",
+    "LocRIB",
+    "ImportPolicy",
+    "PolicyDecision",
+    "AcceptAllPolicy",
+    "MaxPrefixLengthPolicy",
+    "NoBlackholePolicy",
+    "BlackholeWhitelistPolicy",
+    "FullBlackholePolicy",
+    "PartialBlackholePolicy",
+    "RouteServer",
+    "RouteServerPeer",
+]

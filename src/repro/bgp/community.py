@@ -1,0 +1,97 @@
+"""BGP standard communities (RFC 1997) and the two families the study
+depends on:
+
+* the well-known BLACKHOLE community (RFC 7999, ``65535:666``) that marks a
+  route as a remotely-triggered blackhole request, and
+* route-server *redistribution control* communities, with which a member
+  steers to which peers the route server re-announces its route — the
+  mechanism behind "targeted blackholes" in §4.1 of the paper. The scheme is
+  the one large European IXPs document:
+
+  - ``0:<peer-as>``      — do NOT announce to ``<peer-as>``
+  - ``<rs-as>:<peer-as>``— DO announce to ``<peer-as>``
+  - ``0:<rs-as>``        — do not announce to anyone (then whitelist peers)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.errors import BGPError
+
+_MAX_U16 = 0xFFFF
+
+
+@dataclass(frozen=True, order=True)
+class Community:
+    """A standard 32-bit BGP community rendered as ``asn:value``."""
+
+    asn: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= _MAX_U16 or not 0 <= self.value <= _MAX_U16:
+            raise BGPError(f"community halves must be u16: {self.asn}:{self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Community":
+        """Parse ``asn:value`` notation."""
+        left, sep, right = text.partition(":")
+        if not sep:
+            raise BGPError(f"not a community: {text!r}")
+        try:
+            return cls(int(left), int(right))
+        except ValueError:
+            raise BGPError(f"not a community: {text!r}") from None
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+
+#: RFC 7999: request that the neighbor discards traffic to this prefix.
+BLACKHOLE = Community(65535, 666)
+#: RFC 1997 well-known communities, modelled for policy completeness.
+NO_EXPORT = Community(65535, 65281)
+NO_ADVERTISE = Community(65535, 65282)
+#: RFC 8326 graceful shutdown marker.
+GRACEFUL_SHUTDOWN = Community(65535, 0)
+
+
+def do_not_announce_to(peer_asn: int) -> Community:
+    """Redistribution control: hide the route from ``peer_asn``."""
+    return Community(0, peer_asn)
+
+
+def announce_to(route_server_asn: int, peer_asn: int) -> Community:
+    """Redistribution control: explicitly announce the route to ``peer_asn``."""
+    return Community(route_server_asn, peer_asn)
+
+
+def suppress_all(route_server_asn: int) -> Community:
+    """Redistribution control: announce to nobody unless whitelisted."""
+    return Community(0, route_server_asn)
+
+
+def redistribution_targets(
+    communities: Iterable[Community],
+    route_server_asn: int,
+    all_peers: Iterable[int],
+) -> FrozenSet[int]:
+    """Resolve redistribution-control communities into the set of peer ASNs
+    that should receive the route.
+
+    Default (no control communities) is "announce to all". A blanket
+    ``0:<rs-as>`` flips the default to "announce to none"; explicit
+    ``<rs-as>:<peer>`` whitelists and ``0:<peer>`` blacklists individual
+    peers, with the whitelist winning on a direct conflict (matching common
+    route-server implementations which evaluate permits after denies).
+    """
+    peers = frozenset(all_peers)
+    communities = list(communities)
+    suppress = suppress_all(route_server_asn) in communities
+    denied = {c.value for c in communities if c.asn == 0 and c.value != route_server_asn}
+    allowed = {c.value for c in communities if c.asn == route_server_asn}
+    if suppress:
+        return frozenset(p for p in peers if p in allowed)
+    return frozenset(p for p in peers if p not in denied or p in allowed)

@@ -1,0 +1,106 @@
+"""BGP UPDATE messages as the control-plane corpus records them.
+
+A message is a flat, immutable record: who sent it, when, announce or
+withdraw, which prefix, next hop, AS path and communities. This mirrors the
+information the paper extracts from the route-server feed (§3.1): start/stop
+time, triggering AS, redistribution targets, and origin AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+from repro.bgp.community import BLACKHOLE, Community
+from repro.errors import BGPError
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+
+class UpdateAction(str, Enum):
+    """Whether the UPDATE announces or withdraws the prefix."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True)
+class BGPUpdate:
+    """One UPDATE as seen at the route server.
+
+    ``time`` is in simulation seconds on the *control-plane clock* (the
+    scenario runner may skew it against the data plane to exercise the
+    offset estimator). ``peer_asn`` is the member session the message
+    arrived on; ``origin_asn`` the rightmost AS of the path (defaults to
+    ``peer_asn`` for locally-originated routes).
+    """
+
+    time: float
+    peer_asn: int
+    action: UpdateAction
+    prefix: IPv4Prefix
+    next_hop: Optional[IPv4Address] = None
+    as_path: Tuple[int, ...] = ()
+    communities: FrozenSet[Community] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.peer_asn <= 0:
+            raise BGPError(f"peer ASN must be positive: {self.peer_asn}")
+        if self.action is UpdateAction.ANNOUNCE and self.next_hop is None:
+            raise BGPError("announcements require a next hop")
+        if not self.as_path:
+            object.__setattr__(self, "as_path", (self.peer_asn,))
+
+    @property
+    def origin_asn(self) -> int:
+        """The AS that originated the route (rightmost AS of the path)."""
+        return self.as_path[-1]
+
+    @property
+    def is_blackhole(self) -> bool:
+        """Whether the update carries the RFC 7999 BLACKHOLE community."""
+        return BLACKHOLE in self.communities
+
+    @property
+    def is_announce(self) -> bool:
+        return self.action is UpdateAction.ANNOUNCE
+
+    @property
+    def is_withdraw(self) -> bool:
+        return self.action is UpdateAction.WITHDRAW
+
+    def __str__(self) -> str:
+        verb = "+" if self.is_announce else "-"
+        mark = " [BH]" if self.is_blackhole else ""
+        return f"t={self.time:.3f} AS{self.peer_asn} {verb}{self.prefix}{mark}"
+
+
+def announce(
+    time: float,
+    peer_asn: int,
+    prefix: IPv4Prefix,
+    next_hop: IPv4Address,
+    *,
+    as_path: Tuple[int, ...] = (),
+    communities: FrozenSet[Community] | frozenset = frozenset(),
+) -> BGPUpdate:
+    """Convenience constructor for an announcement."""
+    return BGPUpdate(
+        time=time,
+        peer_asn=peer_asn,
+        action=UpdateAction.ANNOUNCE,
+        prefix=prefix,
+        next_hop=next_hop,
+        as_path=as_path,
+        communities=frozenset(communities),
+    )
+
+
+def withdraw(time: float, peer_asn: int, prefix: IPv4Prefix) -> BGPUpdate:
+    """Convenience constructor for a withdrawal."""
+    return BGPUpdate(
+        time=time,
+        peer_asn=peer_asn,
+        action=UpdateAction.WITHDRAW,
+        prefix=prefix,
+    )

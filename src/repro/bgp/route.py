@@ -1,0 +1,38 @@
+"""Installed routes, as held in RIBs and FIBs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.bgp.community import BLACKHOLE, Community
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class Route:
+    """A route as learned from a peer and possibly installed as best path.
+
+    ``learned_at`` carries the control-plane timestamp of the announcement
+    that created it so analyses can reason about route age.
+    """
+
+    prefix: IPv4Prefix
+    next_hop: IPv4Address
+    peer_asn: int
+    as_path: Tuple[int, ...]
+    communities: FrozenSet[Community] = field(default_factory=frozenset)
+    learned_at: float = 0.0
+
+    @property
+    def origin_asn(self) -> int:
+        return self.as_path[-1] if self.as_path else self.peer_asn
+
+    @property
+    def is_blackhole(self) -> bool:
+        """Whether this is an RFC 7999 blackhole route."""
+        return BLACKHOLE in self.communities
+
+    def __str__(self) -> str:
+        mark = " [BH]" if self.is_blackhole else ""
+        return f"{self.prefix} via {self.next_hop} (AS{self.peer_asn}){mark}"

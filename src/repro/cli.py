@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's layering::
+
+    python -m repro generate --scale 0.02 --days 30 --out corpus_dir
+    python -m repro analyze corpus_dir [--peers corpus_dir/peers.json]
+    python -m repro summary --scale 0.01 --days 14
+
+``generate`` writes the corpora (and the membership/PeeringDB sidecar) to
+disk; ``analyze`` re-loads them and prints the study's headline numbers —
+the pair demonstrates that the pipeline runs from files alone, exactly as
+it would on real route-server dumps and IPFIX exports. ``summary`` does
+both in memory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import AnalysisPipeline, ControlPlaneCorpus, DataPlaneCorpus
+from repro.core.hosts import HostClass
+from repro.core.report import format_table, pct, seconds_human
+from repro.ixp.peeringdb import OrgType, PeeringDB, PeeringDBRecord
+from repro.scenario import ScenarioConfig, run_scenario
+
+CONTROL_FILE = "control.jsonl"
+DATA_FILE = "data.npz"
+META_FILE = "platform.json"
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig.paper(scale=args.scale, duration_days=args.days,
+                                  seed=args.seed)
+    result = run_scenario(config)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    result.control.save_jsonl(out / CONTROL_FILE)
+    result.data.save_npz(out / DATA_FILE)
+    meta = {
+        "peer_asns": result.ixp.member_asns,
+        "route_server_asn": result.ixp.route_server.asn,
+        "sampling_rate": result.data.sampling_rate,
+        "peeringdb": [
+            {"asn": r.asn, "name": r.name, "org_type": r.org_type.value,
+             "scope": r.scope}
+            for r in result.ixp.peeringdb
+        ],
+        "scale": args.scale,
+        "duration_days": args.days,
+        "seed": args.seed,
+    }
+    (out / META_FILE).write_text(json.dumps(meta, indent=2))
+    print(f"wrote {len(result.control)} control messages, "
+          f"{len(result.data)} sampled packets, and platform metadata to {out}/")
+    return 0
+
+
+def _load_platform(path: Path) -> tuple[list[int], int, PeeringDB]:
+    meta = json.loads((path / META_FILE).read_text())
+    db = PeeringDB()
+    for entry in meta["peeringdb"]:
+        db.register(PeeringDBRecord(
+            asn=int(entry["asn"]), name=entry["name"],
+            org_type=OrgType(entry["org_type"]), scope=entry["scope"],
+        ))
+    return list(meta["peer_asns"]), int(meta["route_server_asn"]), db
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    path = Path(args.corpus)
+    for required in (CONTROL_FILE, DATA_FILE, META_FILE):
+        if not (path / required).exists():
+            print(f"error: {path / required} missing", file=sys.stderr)
+            return 2
+    control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE)
+    data = DataPlaneCorpus.load_npz(path / DATA_FILE)
+    peers, rs_asn, peeringdb = _load_platform(path)
+    pipeline = AnalysisPipeline(control, data, peer_asns=peers,
+                                peeringdb=peeringdb, route_server_asn=rs_asn,
+                                host_min_days=args.host_min_days)
+    _print_study(pipeline)
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    config = ScenarioConfig.paper(scale=args.scale, duration_days=args.days,
+                                  seed=args.seed)
+    result = run_scenario(config)
+    pipeline = AnalysisPipeline(result.control, result.data,
+                                peer_asns=result.ixp.member_asns,
+                                peeringdb=result.ixp.peeringdb,
+                                host_min_days=args.host_min_days)
+    _print_study(pipeline)
+    return 0
+
+
+def _print_study(pipeline: AnalysisPipeline) -> None:
+    events = pipeline.events
+    load = pipeline.fig3_load()
+    print(f"RTBH events: {len(events)} "
+          f"(from {pipeline.control.rtbh_message_count()} messages); "
+          f"parallel blackholes mean {load.mean_active:.0f} / "
+          f"peak {load.peak_active}")
+
+    rates = pipeline.fig5_drop_by_length()
+    rows = [[f"/{int(l)}", pct(float(p)), pct(float(b)), pct(float(s), 2)]
+            for l, p, b, s in zip(rates.lengths, rates.drop_share_packets,
+                                  rates.drop_share_bytes, rates.traffic_share)]
+    print()
+    print(format_table(["len", "drop(pkts)", "drop(bytes)", "traffic"],
+                       rows, title="acceptance by prefix length (Fig. 5):"))
+
+    print("\npre-RTBH classes (Table 2):")
+    for cls, share in pipeline.table2_pre_classes().items():
+        print(f"  {cls.value:18s} {pct(share)}")
+
+    print("\nuse cases (Fig. 19):")
+    classification = pipeline.fig19_use_cases()
+    for case, share in classification.shares().items():
+        count = classification.counts()[case]
+        if count:
+            _, med, _ = classification.duration_quartiles(case)
+            print(f"  {case.value:26s} {pct(share):>6s} "
+                  f"(median duration {seconds_human(med)})")
+
+    counts = pipeline.host_study.counts()
+    print(f"\nhosts: {counts[HostClass.CLIENT]} clients / "
+          f"{counts[HostClass.SERVER]} servers detected; "
+          f"{pipeline.fig18_collateral().events_with_collateral} events "
+          "with collateral damage")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Down the Black Hole' (IMC'19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and save a corpus")
+    gen.add_argument("--scale", type=float, default=0.02)
+    gen.add_argument("--days", type=float, default=30.0)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.set_defaults(func=_cmd_generate)
+
+    ana = sub.add_parser("analyze", help="analyze a saved corpus")
+    ana.add_argument("corpus", help="directory written by 'generate'")
+    ana.add_argument("--host-min-days", type=int, default=20)
+    ana.set_defaults(func=_cmd_analyze)
+
+    summ = sub.add_parser("summary", help="generate + analyze in memory")
+    summ.add_argument("--scale", type=float, default=0.01)
+    summ.add_argument("--days", type=float, default=14.0)
+    summ.add_argument("--seed", type=int, default=7)
+    summ.add_argument("--host-min-days", type=int, default=8)
+    summ.set_defaults(func=_cmd_summary)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

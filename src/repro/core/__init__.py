@@ -1,0 +1,60 @@
+"""The paper's analysis pipeline.
+
+Every figure and table of the evaluation maps to one module here (see
+DESIGN.md §4 for the index). All analyses consume only the two corpora —
+control-plane BGP messages and sampled data-plane packets — never the
+scenario ground truth, so the pipeline would run unchanged on real IXP
+data of the same shape.
+"""
+
+from repro.core.events import RTBHEvent, extract_events, merge_threshold_sweep
+from repro.core.offset import time_offset_analysis
+from repro.core.load import rtbh_load_series
+from repro.core.visibility import targeted_visibility
+from repro.core.droprate import (
+    drop_rate_by_prefix_length,
+    drop_rate_cdf_by_length,
+    top_source_reactions,
+    top_source_org_types,
+)
+from repro.core.pre_rtbh import (
+    PreRTBHClassification,
+    classify_pre_rtbh_events,
+    slot_features,
+)
+from repro.core.protocols import event_protocol_mix, amplification_protocol_table
+from repro.core.filtering import filterable_share_cdf, as_participation
+from repro.core.hosts import HostClass, classify_hosts, host_port_features
+from repro.core.collateral import collateral_damage
+from repro.core.classify import UseCase, classify_events
+from repro.core.crossval import CrossValidation, cross_validate
+from repro.core.pipeline import AnalysisPipeline
+
+__all__ = [
+    "RTBHEvent",
+    "extract_events",
+    "merge_threshold_sweep",
+    "time_offset_analysis",
+    "rtbh_load_series",
+    "targeted_visibility",
+    "drop_rate_by_prefix_length",
+    "drop_rate_cdf_by_length",
+    "top_source_reactions",
+    "top_source_org_types",
+    "PreRTBHClassification",
+    "classify_pre_rtbh_events",
+    "slot_features",
+    "event_protocol_mix",
+    "amplification_protocol_table",
+    "filterable_share_cdf",
+    "as_participation",
+    "HostClass",
+    "classify_hosts",
+    "host_port_features",
+    "collateral_damage",
+    "UseCase",
+    "classify_events",
+    "CrossValidation",
+    "cross_validate",
+    "AnalysisPipeline",
+]

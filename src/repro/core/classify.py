@@ -1,0 +1,162 @@
+"""§7.3: use-case classification of RTBH events (Fig. 19, driven by the
+expected characteristics of Table 1).
+
+The rule set mirrors the paper's reasoning:
+
+* an event whose pre-window shows a traffic anomaly within 10 minutes is
+  highly likely **infrastructure protection** (DDoS mitigation);
+* a ≤ /24 event held for weeks without DDoS traffic matches **squatting
+  protection**;
+* a /32 event with fewer than 10 sampled packets that stays active for a
+  very long time (often until the end of the corpus) is an **RTBH
+  zombie** — once triggered, then forgotten;
+* everything else is **other**: constant traffic, no anomalous change, no
+  matching known use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.droprate import EventTraffic
+from repro.core.events import RTBHEvent
+from repro.core.pre_rtbh import PreRTBHClass, PreRTBHClassification
+from repro.errors import AnalysisError
+
+DAY = 86_400.0
+
+
+class UseCase(str, Enum):
+    INFRASTRUCTURE_PROTECTION = "infrastructure-protection"
+    SQUATTING_PROTECTION = "squatting-protection"
+    ZOMBIE = "rtbh-zombie"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class ExpectedCharacteristics:
+    """One row of the paper's Table 1: literature/interview-based
+    expectations per RTBH use case."""
+
+    use_case: UseCase
+    trigger: str
+    prefix_length: str
+    reaction_latency: str
+    typical_duration: str
+    traffic: str
+    target: str
+
+
+#: Table 1 of the paper, as data. The classifier's rule set below is the
+#: operational encoding of these expectations.
+TABLE1_EXPECTATIONS: tuple[ExpectedCharacteristics, ...] = (
+    ExpectedCharacteristics(
+        use_case=UseCase.INFRASTRUCTURE_PROTECTION,
+        trigger="automatic detection and triggering",
+        prefix_length="/32",
+        reaction_latency="seconds-minutes",
+        typical_duration="minutes-hours",
+        traffic="attack",
+        target="server",
+    ),
+    ExpectedCharacteristics(
+        use_case=UseCase.SQUATTING_PROTECTION,
+        trigger="manual",
+        prefix_length="<= /24",
+        reaction_latency="n/a",
+        typical_duration="months",
+        traffic="scanning",
+        target="none",
+    ),
+    ExpectedCharacteristics(
+        use_case=UseCase.OTHER,  # content blocking, §2.4
+        trigger="manual",
+        prefix_length="/32",
+        reaction_latency="n/a",
+        typical_duration="weeks-months",
+        traffic="normal",
+        target="server",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ClassifiedEvent:
+    event_id: int
+    use_case: UseCase
+    duration: float
+    prefix_length: int
+    packets: int
+
+
+@dataclass
+class UseCaseClassification:
+    """Fig. 19: per-event use cases plus the summary shares."""
+
+    events: List[ClassifiedEvent]
+
+    def shares(self) -> Dict[UseCase, float]:
+        if not self.events:
+            raise AnalysisError("no events classified")
+        n = len(self.events)
+        out = {uc: 0 for uc in UseCase}
+        for event in self.events:
+            out[event.use_case] += 1
+        return {uc: c / n for uc, c in out.items()}
+
+    def counts(self) -> Dict[UseCase, int]:
+        out = {uc: 0 for uc in UseCase}
+        for event in self.events:
+            out[event.use_case] += 1
+        return out
+
+    def duration_quartiles(self, use_case: UseCase) -> tuple[float, float, float]:
+        durations = [e.duration for e in self.events if e.use_case is use_case]
+        if not durations:
+            raise AnalysisError(f"no events of {use_case}")
+        q = np.quantile(durations, [0.25, 0.5, 0.75])
+        return float(q[0]), float(q[1]), float(q[2])
+
+
+def classify_events(
+    events: Sequence[RTBHEvent],
+    pre: PreRTBHClassification,
+    traffic: Sequence[EventTraffic],
+    corpus_end: float,
+    squatting_min_days: float = 14.0,
+    zombie_min_days: float = 7.0,
+    zombie_max_packets: int = 10,
+) -> UseCaseClassification:
+    """Apply the Table 1 / §7.3 rule set to every event."""
+    if not (len(events) == len(pre.events) == len(traffic)):
+        raise AnalysisError("events, pre-classification and traffic must align")
+    pre_by_id = {e.event_id: e for e in pre.events}
+    traffic_by_id = {t.event_id: t for t in traffic}
+    out: List[ClassifiedEvent] = []
+    for event in events:
+        pre_event = pre_by_id[event.event_id]
+        packets = traffic_by_id[event.event_id].packets
+        runs_to_end = event.end >= corpus_end - 60.0
+        if pre_event.classification is PreRTBHClass.DATA_ANOMALY:
+            use_case = UseCase.INFRASTRUCTURE_PROTECTION
+        elif (event.prefix.length <= 24
+              and event.duration >= squatting_min_days * DAY):
+            use_case = UseCase.SQUATTING_PROTECTION
+        elif (event.prefix.length == 32
+              and packets < zombie_max_packets
+              and (runs_to_end or event.duration >= zombie_min_days * DAY)):
+            use_case = UseCase.ZOMBIE
+        else:
+            use_case = UseCase.OTHER
+        out.append(ClassifiedEvent(
+            event_id=event.event_id,
+            use_case=use_case,
+            duration=event.duration,
+            prefix_length=event.prefix.length,
+            packets=packets,
+        ))
+    return UseCaseClassification(events=out)

@@ -1,0 +1,108 @@
+"""§6.3: towards quantifying collateral damage (Fig. 18).
+
+For every detected *server* (stable top ports), count the sampled packets
+sent to its top ports while an RTBH event covering it was active — all of
+them, and those that were actually dropped. Absolute counts, deliberately
+not shares (§6.3 explains why), form the unnormalised CDF of Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import RTBHEvent
+from repro.core.hosts import HostClass, HostStudy
+from repro.corpus.data import DataPlaneCorpus
+from repro.errors import AnalysisError
+from repro.stats.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class CollateralRecord:
+    """One (event, server) pair with collateral traffic."""
+
+    event_id: int
+    server_ip: int
+    packets_to_top_ports: int
+    dropped_to_top_ports: int
+
+
+@dataclass
+class CollateralDamage:
+    """Fig. 18 results."""
+
+    records: List[CollateralRecord]
+    servers_considered: int
+
+    @property
+    def events_with_collateral(self) -> int:
+        return len({r.event_id for r in self.records})
+
+    def cdf(self, dropped_only: bool = False) -> EmpiricalCDF:
+        values = [(r.dropped_to_top_ports if dropped_only else r.packets_to_top_ports)
+                  for r in self.records]
+        values = [v for v in values if v > 0]
+        if not values:
+            raise AnalysisError("no collateral traffic found")
+        return EmpiricalCDF(values)
+
+    def total_packets(self, dropped_only: bool = False) -> int:
+        return sum(r.dropped_to_top_ports if dropped_only else r.packets_to_top_ports
+                   for r in self.records)
+
+
+def collateral_damage(
+    data: DataPlaneCorpus,
+    events: Sequence[RTBHEvent],
+    hosts: HostStudy,
+) -> CollateralDamage:
+    """Count per-event traffic to detected servers' top ports during the
+    event's announced windows.
+
+    The count is an *upper bound*: application-layer attacks on the same
+    ports are indistinguishable from legitimate clients (§6.3)."""
+    servers = hosts.classified(HostClass.SERVER)
+    by_ip: Dict[int, frozenset] = {
+        s.ip: frozenset(port for _proto, port in s.top_ports) for s in servers
+    }
+    records: List[CollateralRecord] = []
+    for event in events:
+        covered = [ip for ip in by_ip if ip in event.prefix]
+        if not covered:
+            continue
+        for start, end in event.windows:
+            window = data.slice_time(start, end)
+            if len(window) == 0:
+                continue
+            for ip in covered:
+                sub = window[window["dst_ip"] == np.uint32(ip)]
+                if len(sub) == 0:
+                    continue
+                tops = sorted(by_ip[ip])
+                hit = np.isin(sub["dst_port"], tops)
+                if not hit.any():
+                    continue
+                records.append(CollateralRecord(
+                    event_id=event.event_id,
+                    server_ip=ip,
+                    packets_to_top_ports=int(hit.sum()),
+                    dropped_to_top_ports=int((hit & sub["dropped"]).sum()),
+                ))
+    # merge multiple windows of the same (event, server)
+    merged: Dict[Tuple[int, int], CollateralRecord] = {}
+    for rec in records:
+        key = (rec.event_id, rec.server_ip)
+        if key in merged:
+            old = merged[key]
+            merged[key] = CollateralRecord(
+                event_id=rec.event_id, server_ip=rec.server_ip,
+                packets_to_top_ports=old.packets_to_top_ports + rec.packets_to_top_ports,
+                dropped_to_top_ports=old.dropped_to_top_ports + rec.dropped_to_top_ports,
+            )
+        else:
+            merged[key] = rec
+    return CollateralDamage(records=list(merged.values()),
+                            servers_considered=len(servers))

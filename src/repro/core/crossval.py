@@ -1,0 +1,105 @@
+"""§7.3 cross-validation: IXP-inferred DDoS events vs external vantage
+points.
+
+Jonker et al. link RTBHs with DDoS attacks using a telescope and
+amplification honeypots instead of IXP traffic; both methodologies arrive
+at the same headline (<30% of RTBHs relate to detectable DDoS), while each
+misses attacks the other can see. This module joins the two views over a
+common corpus:
+
+* an RTBH event is *externally confirmed* when an observation for a
+  victim inside its prefix overlaps the event start (within a tolerance);
+* the agreement matrix against the IXP's own anomaly classification then
+  quantifies the complementarity — confirmed-but-no-anomaly events are
+  the attacks that never crossed the IXP, anomaly-but-unconfirmed events
+  are the direct/unspoofed attacks external vantage points miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import RTBHEvent
+from repro.core.pre_rtbh import PreRTBHClass, PreRTBHClassification
+from repro.errors import AnalysisError
+from repro.telescope.observatory import ExternalObservation
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """Join result between RTBH events and external observations."""
+
+    total_events: int
+    confirmed_event_ids: frozenset
+    #: (ixp_says_anomaly, externally_confirmed) -> count
+    agreement: Dict[Tuple[bool, bool], int]
+
+    @property
+    def confirmed_share(self) -> float:
+        return len(self.confirmed_event_ids) / self.total_events if self.total_events else 0.0
+
+    @property
+    def both_share(self) -> float:
+        """Events both vantage points attribute to DDoS."""
+        return self.agreement[(True, True)] / self.total_events
+
+    @property
+    def only_external_share(self) -> float:
+        """Attacks the IXP missed (did not cross its fabric)."""
+        return self.agreement[(False, True)] / self.total_events
+
+    @property
+    def only_ixp_share(self) -> float:
+        """Attacks external vantage points missed (direct/unspoofed)."""
+        return self.agreement[(True, False)] / self.total_events
+
+
+def cross_validate(
+    events: Sequence[RTBHEvent],
+    pre: PreRTBHClassification,
+    observations: Sequence[ExternalObservation],
+    tolerance: float = 3_600.0,
+) -> CrossValidation:
+    """Join events with observations and build the agreement matrix.
+
+    An observation matches an event when its victim address falls inside
+    the event's prefix and its interval, widened by ``tolerance``,
+    overlaps the interval from (event start − tolerance) to event end.
+    """
+    if len(events) != len(pre.events):
+        raise AnalysisError("events and classification must align")
+    if tolerance < 0:
+        raise AnalysisError("tolerance must be >= 0")
+    pre_by_id = {e.event_id: e for e in pre.events}
+
+    obs_ips = np.array([o.victim_ip for o in observations], dtype=np.uint64)
+    order = np.argsort(obs_ips)
+    obs_sorted = [observations[i] for i in order]
+    obs_ips_sorted = obs_ips[order]
+
+    confirmed = set()
+    for event in events:
+        lo_ip = event.prefix.network_int
+        hi_ip = event.prefix.broadcast_int
+        lo = int(np.searchsorted(obs_ips_sorted, lo_ip, side="left"))
+        hi = int(np.searchsorted(obs_ips_sorted, hi_ip, side="right"))
+        for obs in obs_sorted[lo:hi]:
+            if (obs.end + tolerance >= event.start - tolerance
+                    and obs.start - tolerance <= event.end):
+                confirmed.add(event.event_id)
+                break
+
+    agreement: Dict[Tuple[bool, bool], int] = {
+        (True, True): 0, (True, False): 0, (False, True): 0, (False, False): 0,
+    }
+    for event in events:
+        anomaly = pre_by_id[event.event_id].classification is PreRTBHClass.DATA_ANOMALY
+        agreement[(anomaly, event.event_id in confirmed)] += 1
+    return CrossValidation(
+        total_events=len(events),
+        confirmed_event_ids=frozenset(confirmed),
+        agreement=agreement,
+    )

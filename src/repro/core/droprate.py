@@ -1,0 +1,213 @@
+"""§4.2: acceptance of blackhole routes, measured on the data plane
+(Figs 5–8).
+
+For every RTBH event the analysis selects the packets destined into the
+blackholed prefix *while the blackhole was announced* and splits them into
+dropped (they resolved to the blackhole MAC) and forwarded. Aggregating by
+prefix length gives Fig. 5; the per-event drop-share distributions give
+Fig. 6; grouping the /32 traffic by the handover AS gives Fig. 7 and the
+PeeringDB join Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import RTBHEvent
+from repro.corpus.data import DataPlaneCorpus
+from repro.errors import AnalysisError
+from repro.ixp.peeringdb import OrgType, PeeringDB
+from repro.net.ip import IPv4Prefix
+from repro.stats.cdf import EmpiricalCDF
+
+_MAX32 = 0xFFFFFFFF
+
+
+def _dst_mask(packets: np.ndarray, prefix: IPv4Prefix) -> np.ndarray:
+    """Boolean mask of ``packets`` destined into ``prefix``."""
+    bits = (_MAX32 << (32 - prefix.length)) & _MAX32 if prefix.length else 0
+    return (packets["dst_ip"] & np.uint32(bits)) == np.uint32(prefix.network_int)
+
+
+@dataclass(frozen=True)
+class EventTraffic:
+    """Per-event traffic totals during announced windows."""
+
+    event_id: int
+    prefix_length: int
+    packets: int
+    dropped_packets: int
+    bytes: int
+    dropped_bytes: int
+
+    @property
+    def drop_share_packets(self) -> float:
+        return self.dropped_packets / self.packets if self.packets else 0.0
+
+    @property
+    def drop_share_bytes(self) -> float:
+        return self.dropped_bytes / self.bytes if self.bytes else 0.0
+
+
+def event_traffic(data: DataPlaneCorpus, events: Sequence[RTBHEvent],
+                  ) -> List[EventTraffic]:
+    """Select and total each event's during-blackhole traffic."""
+    out = []
+    for event in events:
+        # The corpus is time-sorted: work on the window slices only.
+        parts = []
+        for start, end in event.windows:
+            window = data.slice_time(start, end)
+            if len(window) == 0:
+                continue
+            mask = _dst_mask(window, event.prefix)
+            if mask.any():
+                parts.append(window[mask])
+        sub = np.concatenate(parts) if parts else np.zeros(0, dtype=data.packets.dtype)
+        if len(sub) == 0:
+            out.append(EventTraffic(event.event_id, event.prefix.length, 0, 0, 0, 0))
+            continue
+        sizes = sub["size"].astype(np.int64)
+        dropped = sub["dropped"]
+        out.append(EventTraffic(
+            event_id=event.event_id,
+            prefix_length=event.prefix.length,
+            packets=len(sub),
+            dropped_packets=int(dropped.sum()),
+            bytes=int(sizes.sum()),
+            dropped_bytes=int(sizes[dropped].sum()),
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class PrefixLengthDropRates:
+    """Fig. 5: per-length aggregate drop rates and traffic shares."""
+
+    lengths: np.ndarray
+    drop_share_packets: np.ndarray
+    drop_share_bytes: np.ndarray
+    traffic_share: np.ndarray        # share of all blackhole traffic (packets)
+    average_drop_packets: float      # dashed lines of Fig. 5
+    average_drop_bytes: float
+
+    def row(self, length: int) -> Tuple[float, float, float]:
+        idx = int(np.flatnonzero(self.lengths == length)[0])
+        return (float(self.drop_share_packets[idx]),
+                float(self.drop_share_bytes[idx]),
+                float(self.traffic_share[idx]))
+
+
+def drop_rate_by_prefix_length(data: DataPlaneCorpus,
+                               events: Sequence[RTBHEvent]) -> PrefixLengthDropRates:
+    """Aggregate Fig. 5 from per-event traffic."""
+    traffic = event_traffic(data, events)
+    by_len: Dict[int, List[EventTraffic]] = {}
+    for t in traffic:
+        by_len.setdefault(t.prefix_length, []).append(t)
+    total_packets = sum(t.packets for t in traffic)
+    if total_packets == 0:
+        raise AnalysisError("no traffic to any blackholed prefix")
+    lengths = np.array(sorted(by_len))
+    drop_p, drop_b, share = [], [], []
+    for length in lengths:
+        group = by_len[length]
+        pk = sum(t.packets for t in group)
+        by = sum(t.bytes for t in group)
+        drop_p.append(sum(t.dropped_packets for t in group) / pk if pk else 0.0)
+        drop_b.append(sum(t.dropped_bytes for t in group) / by if by else 0.0)
+        share.append(pk / total_packets)
+    total_bytes = sum(t.bytes for t in traffic)
+    return PrefixLengthDropRates(
+        lengths=lengths,
+        drop_share_packets=np.array(drop_p),
+        drop_share_bytes=np.array(drop_b),
+        traffic_share=np.array(share),
+        average_drop_packets=sum(t.dropped_packets for t in traffic) / total_packets,
+        average_drop_bytes=(sum(t.dropped_bytes for t in traffic) / total_bytes
+                            if total_bytes else 0.0),
+    )
+
+
+def drop_rate_cdf_by_length(data: DataPlaneCorpus, events: Sequence[RTBHEvent],
+                            lengths: Sequence[int] = (24, 32),
+                            min_packets: int = 10) -> Dict[int, EmpiricalCDF]:
+    """Fig. 6: per-event drop-share ECDFs for selected prefix lengths.
+
+    Events with fewer than ``min_packets`` sampled packets are skipped —
+    a drop share estimated from a couple of samples is noise.
+    """
+    traffic = event_traffic(data, events)
+    out: Dict[int, EmpiricalCDF] = {}
+    for length in lengths:
+        shares = [t.drop_share_packets for t in traffic
+                  if t.prefix_length == length and t.packets >= min_packets]
+        if shares:
+            out[length] = EmpiricalCDF(shares)
+    if not out:
+        raise AnalysisError(f"no events with >= {min_packets} packets at {lengths}")
+    return out
+
+
+@dataclass(frozen=True)
+class SourceReaction:
+    """One handover AS's aggregate reaction to /32 blackholes (Fig. 7)."""
+
+    asn: int
+    packets: int
+    dropped: int
+
+    @property
+    def drop_share(self) -> float:
+        return self.dropped / self.packets if self.packets else 0.0
+
+
+def top_source_reactions(data: DataPlaneCorpus, events: Sequence[RTBHEvent],
+                         top_n: int = 100,
+                         prefix_length: int = 32) -> List[SourceReaction]:
+    """Fig. 7: the ``top_n`` handover ASes by traffic volume towards
+    /32 blackholes, with their drop shares, ordered by drop share."""
+    parts = []
+    for event in events:
+        if event.prefix.length != prefix_length:
+            continue
+        for start, end in event.windows:
+            window = data.slice_time(start, end)
+            if len(window) == 0:
+                continue
+            mask = _dst_mask(window, event.prefix)
+            if mask.any():
+                parts.append(window[mask])
+    sub = (np.concatenate(parts) if parts
+           else np.zeros(0, dtype=data.packets.dtype))
+    if len(sub) == 0:
+        raise AnalysisError("no traffic towards blackholes of that length")
+    asns, inverse = np.unique(sub["ingress_asn"], return_inverse=True)
+    totals = np.bincount(inverse, minlength=len(asns))
+    dropped = np.bincount(inverse, weights=sub["dropped"].astype(np.float64),
+                          minlength=len(asns)).astype(np.int64)
+    order = np.argsort(totals)[::-1][:top_n]
+    reactions = [SourceReaction(int(asns[i]), int(totals[i]), int(dropped[i]))
+                 for i in order]
+    reactions.sort(key=lambda r: r.drop_share, reverse=True)
+    return reactions
+
+
+def reaction_buckets(reactions: Sequence[SourceReaction],
+                     hi: float = 0.99, lo: float = 0.01) -> Dict[str, int]:
+    """The Fig. 7 / §7.1 summary: how many of the top sources drop almost
+    everything, forward almost everything, or are inconsistent."""
+    return {
+        "drop_ge_99": sum(r.drop_share >= hi for r in reactions),
+        "forward_ge_99": sum(r.drop_share <= lo for r in reactions),
+        "inconsistent": sum(lo < r.drop_share < hi for r in reactions),
+    }
+
+
+def top_source_org_types(reactions: Sequence[SourceReaction],
+                         peeringdb: PeeringDB) -> Dict[OrgType, int]:
+    """Fig. 8: PeeringDB organisation types of the top traffic sources."""
+    return peeringdb.type_histogram(r.asn for r in reactions)

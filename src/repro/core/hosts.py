@@ -1,0 +1,209 @@
+"""§6.1–6.2: which blackholed hosts are servers, which are clients?
+(Figs 16–17, Table 4.)
+
+Host behaviour is profiled on traffic *outside* RTBH events (each event,
+plus a 10-minute reaction margin before it, is excluded). A host with
+stable daily top ports in its incoming traffic behaves like a server; a
+host whose incoming top port changes almost daily — because it talks from
+fresh ephemeral ports — behaves like a client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import RTBHEvent
+from repro.corpus.control import ControlPlaneCorpus
+from repro.corpus.data import DataPlaneCorpus
+from repro.errors import AnalysisError
+from repro.ixp.peeringdb import OrgType, PeeringDB
+from repro.net.ip import IPv4Prefix
+from repro.net.radix import RadixTree
+
+DAY = 86_400.0
+REACTION_MARGIN = 600.0
+
+#: normalisation for the RadViz features (the maximum port number)
+PORT_NORMALIZER = 65_535.0
+
+FEATURES = ("in_src_ports", "out_src_ports", "in_dst_ports", "out_dst_ports")
+
+
+class HostClass(str, Enum):
+    SERVER = "server"
+    CLIENT = "client"
+    UNCLASSIFIED = "unclassified"
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Per-host behaviour outside of RTBH activity."""
+
+    ip: int
+    active_days: int
+    port_features: Tuple[int, int, int, int]   # unique-port counts, FEATURES order
+    top_ports: Tuple[Tuple[int, int], ...]     # distinct daily top (proto, port)
+    port_variation: float                      # unique top ports / active days
+    classification: HostClass
+    origin_asn: Optional[int] = None
+
+
+@dataclass
+class HostStudy:
+    """All profiled hosts plus corpus-level accessors."""
+
+    hosts: List[HostProfile]
+    min_days: int
+
+    def classified(self, cls: HostClass) -> List[HostProfile]:
+        return [h for h in self.hosts if h.classification is cls]
+
+    def counts(self) -> Dict[HostClass, int]:
+        return {cls: len(self.classified(cls)) for cls in HostClass}
+
+    def radviz_matrix(self) -> np.ndarray:
+        """Fig. 16 input: (n_hosts, 4) normalised port-diversity features."""
+        if not self.hosts:
+            raise AnalysisError("no hosts profiled")
+        return np.array([h.port_features for h in self.hosts],
+                        dtype=np.float64) / PORT_NORMALIZER
+
+    def org_type_table(self, peeringdb: PeeringDB) -> Dict[HostClass, Dict[OrgType, float]]:
+        """Table 4: AS-type shares for detected clients and servers."""
+        out: Dict[HostClass, Dict[OrgType, float]] = {}
+        for cls in (HostClass.CLIENT, HostClass.SERVER):
+            hosts = self.classified(cls)
+            if not hosts:
+                out[cls] = {}
+                continue
+            histogram: Dict[OrgType, int] = {}
+            for host in hosts:
+                org = (peeringdb.org_type(host.origin_asn)
+                       if host.origin_asn is not None else OrgType.UNKNOWN)
+                histogram[org] = histogram.get(org, 0) + 1
+            out[cls] = {org: c / len(hosts) for org, c in histogram.items()}
+        return out
+
+
+def _origin_map(control: ControlPlaneCorpus) -> RadixTree:
+    """Host → origin AS via the RTBH announcements covering it."""
+    tree: RadixTree = RadixTree()
+    for msg in control.rtbh_updates():
+        if msg.is_announce:
+            tree.insert(msg.prefix, msg.origin_asn)
+    return tree
+
+
+def _exclusion_intervals(events: Sequence[RTBHEvent]) -> Dict[IPv4Prefix, List[Tuple[float, float]]]:
+    out: Dict[IPv4Prefix, List[Tuple[float, float]]] = {}
+    for event in events:
+        out.setdefault(event.prefix, []).append(
+            (event.start - REACTION_MARGIN, event.end)
+        )
+    return out
+
+
+def host_port_features(incoming: np.ndarray, outgoing: np.ndarray) -> Tuple[int, int, int, int]:
+    """The four port-diversity features of Fig. 16 for one host."""
+    return (
+        len(np.unique(incoming["src_port"])) if len(incoming) else 0,
+        len(np.unique(outgoing["src_port"])) if len(outgoing) else 0,
+        len(np.unique(incoming["dst_port"])) if len(incoming) else 0,
+        len(np.unique(outgoing["dst_port"])) if len(outgoing) else 0,
+    )
+
+
+def classify_hosts(
+    control: ControlPlaneCorpus,
+    data: DataPlaneCorpus,
+    events: Sequence[RTBHEvent],
+    min_days: int = 20,
+    server_variation: float = 0.3,
+    client_variation: float = 0.6,
+) -> HostStudy:
+    """Profile every blackholed host with enough activity (§6.1's
+    conservative ≥ ``min_days``-day criterion) and classify it."""
+    origin_tree = _origin_map(control)
+    exclusions = _exclusion_intervals(events)
+    packets = data.packets
+
+    # candidate hosts: addresses covered by any RTBH prefix, as traffic
+    # destinations or sources
+    unique_dst = np.unique(packets["dst_ip"])
+    unique_src = np.unique(packets["src_ip"])
+    covered = [ip for ip in np.union1d(unique_dst, unique_src)
+               if origin_tree.lookup(int(ip)) is not None]
+
+    hosts: List[HostProfile] = []
+    for ip in covered:
+        ip = int(ip)
+        incoming = packets[packets["dst_ip"] == np.uint32(ip)]
+        outgoing = packets[packets["src_ip"] == np.uint32(ip)]
+        incoming = _outside_exclusions(incoming, ip, exclusions)
+        outgoing = _outside_exclusions(outgoing, ip, exclusions)
+        if len(incoming) == 0 and len(outgoing) == 0:
+            continue
+        in_days = set((incoming["time"] // DAY).astype(int).tolist())
+        out_days = set((outgoing["time"] // DAY).astype(int).tolist())
+        active_days = len(in_days & out_days)
+        top_ports = _daily_top_ports(incoming)
+        variation = len(top_ports) / len(in_days) if in_days else 1.0
+        if active_days >= min_days:
+            if variation <= server_variation:
+                cls = HostClass.SERVER
+            elif variation >= client_variation:
+                cls = HostClass.CLIENT
+            else:
+                cls = HostClass.UNCLASSIFIED
+        else:
+            cls = HostClass.UNCLASSIFIED
+        hit = origin_tree.lookup(ip)
+        hosts.append(HostProfile(
+            ip=ip,
+            active_days=active_days,
+            port_features=host_port_features(incoming, outgoing),
+            top_ports=tuple(sorted(top_ports)),
+            port_variation=variation,
+            classification=cls,
+            origin_asn=None if hit is None else int(hit[1]),
+        ))
+    return HostStudy(hosts=hosts, min_days=min_days)
+
+
+def _outside_exclusions(packets: np.ndarray, ip: int,
+                        exclusions: Dict[IPv4Prefix, List[Tuple[float, float]]]) -> np.ndarray:
+    if len(packets) == 0:
+        return packets
+    keep = np.ones(len(packets), dtype=bool)
+    times = packets["time"]
+    for prefix, intervals in exclusions.items():
+        if ip not in prefix:
+            continue
+        for start, end in intervals:
+            keep &= ~((times >= start) & (times < end))
+    return packets[keep]
+
+
+def _daily_top_ports(incoming: np.ndarray) -> set[Tuple[int, int]]:
+    """Distinct daily top (protocol, destination port) pairs."""
+    tops: set[Tuple[int, int]] = set()
+    if len(incoming) == 0:
+        return tops
+    days = (incoming["time"] // DAY).astype(np.int64)
+    order = np.argsort(days, kind="stable")
+    days = days[order]
+    sorted_packets = incoming[order]
+    bounds = np.flatnonzero(np.r_[True, days[1:] != days[:-1]])
+    bounds = np.r_[bounds, len(days)]
+    for b in range(len(bounds) - 1):
+        chunk = sorted_packets[bounds[b]:bounds[b + 1]]
+        key = chunk["protocol"].astype(np.int64) << np.int64(16)
+        key |= chunk["dst_port"].astype(np.int64)
+        values, counts = np.unique(key, return_counts=True)
+        top = int(values[np.argmax(counts)])
+        tops.add((top >> 16, top & 0xFFFF))
+    return tops

@@ -1,0 +1,85 @@
+"""Fig. 2: control/data-plane time-offset estimation.
+
+Builds the per-prefix announced intervals from the control corpus, the
+per-prefix dropped-packet timestamps from the data corpus, and hands both
+to the MLE of :mod:`repro.stats.mle`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.corpus.control import ControlPlaneCorpus
+from repro.corpus.data import DataPlaneCorpus
+from repro.dataplane.timeline import IntervalSet
+from repro.net.ip import IPv4Prefix
+from repro.net.radix import RadixTree
+from repro.stats.mle import OffsetEstimate, estimate_time_offset
+
+
+def announced_interval_sets(control: ControlPlaneCorpus) -> Dict[IPv4Prefix, IntervalSet]:
+    """Per-prefix announced intervals (any-announcer union) on the
+    control-plane clock."""
+    out: Dict[IPv4Prefix, IntervalSet] = {}
+    for prefix, windows in control.rtbh_windows_by_prefix().items():
+        merged: list[tuple[float, float]] = []
+        for start, end, _peer in sorted(windows):
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        iset = IntervalSet()
+        for start, end in merged:
+            iset.open_at(start)
+            iset.close_at(end)
+        out[prefix] = iset.finalize(merged[-1][1] if merged else 0.0)
+    return out
+
+
+def time_offset_analysis(
+    control: ControlPlaneCorpus,
+    data: DataPlaneCorpus,
+    offsets: np.ndarray | None = None,
+    max_packets_per_group: int = 20_000,
+) -> OffsetEstimate:
+    """Scan trial offsets and return the likelihood curve and peak.
+
+    Each dropped packet is attributed once: it counts as explained when
+    *any* blackhole prefix covering its destination was announced at the
+    shifted time. Packets are therefore grouped by destination address and
+    tested against the union of the covering prefixes' intervals.
+
+    ``max_packets_per_group`` bounds the per-destination sample to keep
+    the scan cheap on heavy-hitter victims; the estimate is share-based,
+    so subsampling is unbiased.
+    """
+    intervals = announced_interval_sets(control)
+    tree: RadixTree[bool] = RadixTree()
+    for prefix in intervals:
+        tree.insert(prefix, True)
+
+    dropped = data.packets[data.packets["dropped"]]
+    grouped_times: Dict[IPv4Prefix, np.ndarray] = {}
+    grouped_intervals: Dict[IPv4Prefix, IntervalSet] = {}
+    dst = dropped["dst_ip"]
+    order = np.argsort(dst, kind="stable")
+    sorted_dst = dst[order]
+    bounds = np.flatnonzero(np.r_[True, sorted_dst[1:] != sorted_dst[:-1]])
+    bounds = np.r_[bounds, len(sorted_dst)]
+    for b in range(len(bounds) - 1):
+        rows = order[bounds[b]:bounds[b + 1]]
+        address = int(sorted_dst[bounds[b]])
+        covering = [p for p, _ in tree.lookup_all(address)]
+        key = IPv4Prefix(address, 32)
+        times = dropped["time"][rows].astype(np.float64)
+        if len(times) > max_packets_per_group:
+            times = times[:: len(times) // max_packets_per_group + 1]
+        grouped_times[key] = times
+        if covering:
+            grouped_intervals[key] = IntervalSet.union(intervals[p] for p in covering)
+        # else: dropped by an RTBH source outside the route-server view
+        # (e.g. bilateral blackholing) — stays unexplained at any offset,
+        # exactly like the paper's residual ~5%.
+    return estimate_time_offset(grouped_times, grouped_intervals, offsets)

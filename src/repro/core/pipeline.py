@@ -1,0 +1,149 @@
+"""End-to-end analysis pipeline.
+
+:class:`AnalysisPipeline` strings every per-figure analysis together with
+shared caching: events are extracted once, the pre-RTBH classification and
+per-event traffic are computed once, and every figure/table draws on those.
+Consumes only the two corpora (plus the membership list and the PeeringDB
+registry for the joins) — never scenario ground truth.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Sequence
+
+from repro.core import classify as classify_mod
+from repro.core import collateral as collateral_mod
+from repro.core import droprate as droprate_mod
+from repro.core import filtering as filtering_mod
+from repro.core import hosts as hosts_mod
+from repro.core import load as load_mod
+from repro.core import offset as offset_mod
+from repro.core import pre_rtbh as pre_mod
+from repro.core import protocols as protocols_mod
+from repro.core import visibility as visibility_mod
+from repro.core.events import DEFAULT_DELTA, RTBHEvent, extract_events
+from repro.corpus.control import ControlPlaneCorpus
+from repro.corpus.data import DataPlaneCorpus
+from repro.ixp.peeringdb import PeeringDB
+
+
+class AnalysisPipeline:
+    """Lazy, cached access to every analysis of the study."""
+
+    def __init__(
+        self,
+        control: ControlPlaneCorpus,
+        data: DataPlaneCorpus,
+        peer_asns: Sequence[int],
+        peeringdb: PeeringDB | None = None,
+        route_server_asn: int = 64_500,
+        delta: float = DEFAULT_DELTA,
+        host_min_days: int = 20,
+    ):
+        self.control = control
+        self.data = data
+        self.peer_asns = list(peer_asns)
+        self.peeringdb = peeringdb or PeeringDB()
+        self.route_server_asn = route_server_asn
+        self.delta = delta
+        self.host_min_days = host_min_days
+
+    # -- shared intermediates ---------------------------------------------------
+
+    @cached_property
+    def events(self) -> List[RTBHEvent]:
+        """Δ-merged RTBH events (§5.1)."""
+        return extract_events(self.control, delta=self.delta)
+
+    @cached_property
+    def pre_classification(self) -> pre_mod.PreRTBHClassification:
+        """Pre-RTBH traffic classification (§5.2–5.3)."""
+        return pre_mod.classify_pre_rtbh_events(self.data, self.events)
+
+    @cached_property
+    def event_traffic(self) -> List[droprate_mod.EventTraffic]:
+        """Per-event during-blackhole traffic totals."""
+        return droprate_mod.event_traffic(self.data, self.events)
+
+    # -- figures & tables -------------------------------------------------------
+
+    def fig2_time_offset(self) -> "offset_mod.OffsetEstimate":
+        return offset_mod.time_offset_analysis(self.control, self.data)
+
+    def fig3_load(self) -> load_mod.RTBHLoadSeries:
+        return load_mod.rtbh_load_series(self.control)
+
+    def fig4_targeted_visibility(self,
+                                 sample_interval: float = 3_600.0,
+                                 ) -> visibility_mod.TargetedVisibilitySeries:
+        return visibility_mod.targeted_visibility(
+            self.control, self.peer_asns, self.route_server_asn,
+            sample_interval=sample_interval,
+        )
+
+    def fig5_drop_by_length(self) -> droprate_mod.PrefixLengthDropRates:
+        return droprate_mod.drop_rate_by_prefix_length(self.data, self.events)
+
+    def fig6_drop_cdfs(self, lengths=(24, 32)):
+        return droprate_mod.drop_rate_cdf_by_length(self.data, self.events,
+                                                    lengths=lengths)
+
+    def fig7_top_sources(self, top_n: int = 100) -> List[droprate_mod.SourceReaction]:
+        return droprate_mod.top_source_reactions(self.data, self.events, top_n=top_n)
+
+    def fig8_org_types(self, top_n: int = 100):
+        return droprate_mod.top_source_org_types(self.fig7_top_sources(top_n),
+                                                 self.peeringdb)
+
+    def fig10_merge_sweep(self, deltas=None):
+        return droprate_sweep(self.control, deltas)
+
+    def table2_pre_classes(self) -> Dict[pre_mod.PreRTBHClass, float]:
+        return self.pre_classification.class_shares()
+
+    def sec54_protocol_mix(self) -> protocols_mod.EventProtocolMix:
+        return protocols_mod.event_protocol_mix(self.data, self.events,
+                                                self.pre_classification)
+
+    def table3_amplification(self) -> Dict[int, float]:
+        return protocols_mod.amplification_protocol_table(self.sec54_protocol_mix())
+
+    def fig14_filterable(self):
+        return filtering_mod.filterable_share_cdf(self.data, self.events,
+                                                  self.pre_classification)
+
+    def fig15_participation(self) -> filtering_mod.ASParticipation:
+        return filtering_mod.as_participation(self.data, self.events,
+                                              self.pre_classification)
+
+    @cached_property
+    def host_study(self) -> hosts_mod.HostStudy:
+        """Figs 16–17 / Table 4 host profiling."""
+        return hosts_mod.classify_hosts(self.control, self.data, self.events,
+                                        min_days=self.host_min_days)
+
+    def table4_host_types(self):
+        return self.host_study.org_type_table(self.peeringdb)
+
+    def fig18_collateral(self) -> collateral_mod.CollateralDamage:
+        return collateral_mod.collateral_damage(self.data, self.events,
+                                                self.host_study)
+
+    def fig19_use_cases(self) -> classify_mod.UseCaseClassification:
+        # On short corpora the absolute month-scale squatting threshold is
+        # unreachable; scale it down to a large fraction of the span.
+        span_days = (self.control.end_time - self.control.start_time) / 86_400.0
+        return classify_mod.classify_events(
+            self.events, self.pre_classification, self.event_traffic,
+            corpus_end=self.control.end_time,
+            squatting_min_days=min(14.0, 0.5 * span_days),
+            zombie_min_days=min(7.0, 0.3 * span_days),
+        )
+
+
+def droprate_sweep(control: ControlPlaneCorpus, deltas=None):
+    """Thin alias kept next to the pipeline for discoverability."""
+    from repro.core.events import merge_threshold_sweep
+
+    return merge_threshold_sweep(control, deltas)

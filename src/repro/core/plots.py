@@ -1,0 +1,78 @@
+"""Terminal plots.
+
+The benchmark harness reports the *series* behind each paper figure, not
+just summary numbers; these renderers draw them as compact ASCII charts so
+a tee'd benchmark log shows the curve shapes (Fig. 2's likelihood peak,
+Fig. 10's knee, the Fig. 6 CDFs) next to the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float] | np.ndarray, width: int = 60) -> str:
+    """One-line bar chart of a series (resampled to ``width`` columns)."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise AnalysisError("nothing to plot")
+    if data.size > width:
+        # average-pool into `width` buckets
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+                         for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _BARS[1] * len(data)
+    scaled = (data - lo) / (hi - lo) * (len(_BARS) - 2) + 1
+    return "".join(_BARS[int(round(s))] for s in scaled)
+
+
+def line_plot(xs: Sequence[float] | np.ndarray,
+              ys: Sequence[float] | np.ndarray,
+              width: int = 64, height: int = 12,
+              x_label: str = "", y_label: str = "") -> str:
+    """A small scatter/line chart in a character grid.
+
+    Points are mapped to the grid and marked with ``*``; axes carry min
+    and max annotations. Intended for monotone series (CDFs, likelihood
+    curves) where the dot cloud reads as a line.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size == 0 or x.size != y.size:
+        raise AnalysisError("need equal-length non-empty series")
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    for r, row in enumerate(grid):
+        prefix = f"{y_hi:10.3g} |" if r == 0 else (
+            f"{y_lo:10.3g} |" if r == height - 1 else " " * 10 + " |")
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    footer = f"{' ' * 12}{x_lo:<.4g}{' ' * max(1, width - 16)}{x_hi:>.4g}"
+    lines.append(footer)
+    if x_label or y_label:
+        lines.append(f"{' ' * 12}x: {x_label}   y: {y_label}".rstrip())
+    return "\n".join(lines)
+
+
+def cdf_plot(cdf, width: int = 64, height: int = 10, points: int = 80,
+             x_label: str = "") -> str:
+    """Render an :class:`~repro.stats.cdf.EmpiricalCDF`."""
+    xs, ys = cdf.series(points=min(points, max(2, cdf.n)))
+    return line_plot(xs, ys, width=width, height=height,
+                     x_label=x_label, y_label="F(x)")

@@ -1,0 +1,49 @@
+"""Plain-text rendering of analysis results.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """A fixed-width ASCII table."""
+    rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def seconds_human(value: float) -> str:
+    """Render a duration at the most natural unit."""
+    if value < 120:
+        return f"{value:.0f}s"
+    if value < 7_200:
+        return f"{value / 60:.1f}min"
+    if value < 2 * 86_400:
+        return f"{value / 3_600:.1f}h"
+    return f"{value / 86_400:.1f}d"

@@ -1,0 +1,8 @@
+"""Measurement corpora: the control-plane BGP message log and the
+numpy-backed data-plane store of sampled packets, with persistence.
+"""
+
+from repro.corpus.control import ControlPlaneCorpus, RTBH_RELATED
+from repro.corpus.data import DataPlaneCorpus
+
+__all__ = ["ControlPlaneCorpus", "DataPlaneCorpus", "RTBH_RELATED"]

@@ -1,0 +1,154 @@
+"""The control-plane corpus: every BGP UPDATE seen at the route server
+during the measurement period, in time order.
+
+Withdrawals carry no communities on the wire, so "RTBH-related" withdrawals
+are identified the way the paper must: a withdrawal is blackhole-related
+when the same peer currently has a blackhole announcement standing for the
+prefix. :meth:`ControlPlaneCorpus.rtbh_updates` performs that stateful
+classification once and caches it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.community import Community
+from repro.bgp.message import BGPUpdate, UpdateAction
+from repro.errors import CorpusError
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+#: marker returned alongside updates by :meth:`rtbh_updates`
+RTBH_RELATED = "rtbh"
+
+
+class ControlPlaneCorpus:
+    """An ordered store of BGP updates with RTBH-aware helpers."""
+
+    def __init__(self, messages: Sequence[BGPUpdate]):
+        self._messages: List[BGPUpdate] = sorted(messages, key=lambda m: m.time)
+        self._rtbh_flags: Optional[List[bool]] = None
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[BGPUpdate]:
+        return iter(self._messages)
+
+    def __getitem__(self, index: int) -> BGPUpdate:
+        return self._messages[index]
+
+    @property
+    def start_time(self) -> float:
+        if not self._messages:
+            raise CorpusError("empty control-plane corpus")
+        return self._messages[0].time
+
+    @property
+    def end_time(self) -> float:
+        if not self._messages:
+            raise CorpusError("empty control-plane corpus")
+        return self._messages[-1].time
+
+    # -- RTBH classification ---------------------------------------------------
+
+    def _classify(self) -> List[bool]:
+        if self._rtbh_flags is not None:
+            return self._rtbh_flags
+        flags: List[bool] = []
+        active: Set[Tuple[int, IPv4Prefix]] = set()
+        for msg in self._messages:
+            key = (msg.peer_asn, msg.prefix)
+            if msg.action is UpdateAction.ANNOUNCE:
+                if msg.is_blackhole:
+                    active.add(key)
+                    flags.append(True)
+                else:
+                    # replaces any standing blackhole from this peer
+                    was_blackhole = key in active
+                    active.discard(key)
+                    flags.append(was_blackhole)
+            else:
+                flags.append(key in active)
+                active.discard(key)
+        self._rtbh_flags = flags
+        return flags
+
+    def rtbh_updates(self) -> List[BGPUpdate]:
+        """Only the blackhole-related updates (announce + paired withdraw)."""
+        flags = self._classify()
+        return [m for m, f in zip(self._messages, flags) if f]
+
+    def rtbh_message_count(self) -> int:
+        return sum(self._classify())
+
+    def rtbh_prefixes(self) -> Set[IPv4Prefix]:
+        """Every prefix that was ever blackholed via the route server."""
+        return {m.prefix for m in self.rtbh_updates()}
+
+    def rtbh_windows_by_prefix(self) -> Dict[IPv4Prefix, List[Tuple[float, float, int]]]:
+        """Per prefix: (announce_time, withdraw_time, announcer ASN) windows.
+
+        A window left open at the end of the corpus closes at
+        :attr:`end_time` — the paper treats still-active blackholes (e.g.
+        zombies) the same way.
+        """
+        open_at: Dict[Tuple[int, IPv4Prefix], float] = {}
+        out: Dict[IPv4Prefix, List[Tuple[float, float, int]]] = {}
+        for msg in self.rtbh_updates():
+            key = (msg.peer_asn, msg.prefix)
+            if msg.action is UpdateAction.ANNOUNCE:
+                open_at.setdefault(key, msg.time)
+            else:
+                start = open_at.pop(key, None)
+                if start is not None:
+                    out.setdefault(msg.prefix, []).append((start, msg.time, msg.peer_asn))
+        end = self.end_time if self._messages else 0.0
+        for (peer, prefix), start in open_at.items():
+            out.setdefault(prefix, []).append((start, end, peer))
+        for windows in out.values():
+            windows.sort()
+        return out
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """One JSON object per line; communities as ``asn:value`` strings."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for msg in self._messages:
+                fh.write(json.dumps({
+                    "time": msg.time,
+                    "peer_asn": msg.peer_asn,
+                    "action": msg.action.value,
+                    "prefix": str(msg.prefix),
+                    "next_hop": None if msg.next_hop is None else str(msg.next_hop),
+                    "as_path": list(msg.as_path),
+                    "communities": sorted(str(c) for c in msg.communities),
+                }) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "ControlPlaneCorpus":
+        messages = []
+        with open(path, encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                    messages.append(BGPUpdate(
+                        time=float(raw["time"]),
+                        peer_asn=int(raw["peer_asn"]),
+                        action=UpdateAction(raw["action"]),
+                        prefix=IPv4Prefix(raw["prefix"]),
+                        next_hop=(None if raw["next_hop"] is None
+                                  else IPv4Address(raw["next_hop"])),
+                        as_path=tuple(raw["as_path"]),
+                        communities=frozenset(
+                            Community.parse(c) for c in raw["communities"]
+                        ),
+                    ))
+                except (KeyError, ValueError) as exc:
+                    raise CorpusError(f"{path}:{line_no}: bad record: {exc}") from exc
+        return cls(messages)

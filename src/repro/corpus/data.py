@@ -1,0 +1,140 @@
+"""The data-plane corpus: all sampled packets, numpy-backed and
+time-sorted, with the vectorized selections the analyses need.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.dataplane.packet import PACKET_DTYPE
+from repro.errors import CorpusError
+from repro.net.ip import IPv4Prefix
+
+_MAX32 = 0xFFFFFFFF
+
+
+def _prefix_mask(length: int) -> np.uint32:
+    return np.uint32((_MAX32 << (32 - length)) & _MAX32 if length else 0)
+
+
+class DataPlaneCorpus:
+    """Sampled packets of the whole measurement period."""
+
+    def __init__(self, packets: np.ndarray, sampling_rate: int = 10_000):
+        if packets.dtype != PACKET_DTYPE:
+            raise CorpusError(f"expected PACKET_DTYPE array, got {packets.dtype}")
+        order = np.argsort(packets["time"], kind="stable")
+        self._packets = packets[order]
+        self.sampling_rate = sampling_rate
+
+    @property
+    def packets(self) -> np.ndarray:
+        """The underlying time-sorted record array (do not mutate)."""
+        return self._packets
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def start_time(self) -> float:
+        if len(self._packets) == 0:
+            raise CorpusError("empty data-plane corpus")
+        return float(self._packets["time"][0])
+
+    @property
+    def end_time(self) -> float:
+        if len(self._packets) == 0:
+            raise CorpusError("empty data-plane corpus")
+        return float(self._packets["time"][-1])
+
+    # -- selection ------------------------------------------------------------
+
+    def mask_dst_in(self, prefix: IPv4Prefix) -> np.ndarray:
+        """Boolean mask of packets destined into ``prefix``."""
+        mask = _prefix_mask(prefix.length)
+        return (self._packets["dst_ip"] & mask) == np.uint32(prefix.network_int)
+
+    def mask_src_in(self, prefix: IPv4Prefix) -> np.ndarray:
+        mask = _prefix_mask(prefix.length)
+        return (self._packets["src_ip"] & mask) == np.uint32(prefix.network_int)
+
+    def mask_time(self, t0: float, t1: float) -> np.ndarray:
+        """Packets with ``t0 <= time < t1`` (fast: the array is sorted)."""
+        lo = np.searchsorted(self._packets["time"], t0, side="left")
+        hi = np.searchsorted(self._packets["time"], t1, side="left")
+        out = np.zeros(len(self._packets), dtype=bool)
+        out[lo:hi] = True
+        return out
+
+    def slice_time(self, t0: float, t1: float) -> np.ndarray:
+        lo = np.searchsorted(self._packets["time"], t0, side="left")
+        hi = np.searchsorted(self._packets["time"], t1, side="left")
+        return self._packets[lo:hi]
+
+    def select(
+        self,
+        dst_prefix: Optional[IPv4Prefix] = None,
+        src_prefix: Optional[IPv4Prefix] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        dropped: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Packets matching all given criteria."""
+        mask = np.ones(len(self._packets), dtype=bool)
+        if t0 is not None or t1 is not None:
+            mask &= self.mask_time(
+                self.start_time if t0 is None else t0,
+                (self.end_time + 1.0) if t1 is None else t1,
+            )
+        if dst_prefix is not None:
+            mask &= self.mask_dst_in(dst_prefix)
+        if src_prefix is not None:
+            mask &= self.mask_src_in(src_prefix)
+        if dropped is not None:
+            mask &= self._packets["dropped"] == dropped
+        return self._packets[mask]
+
+    def dropped_times_by_prefix(
+        self, prefixes: Iterable[IPv4Prefix]
+    ) -> Dict[IPv4Prefix, np.ndarray]:
+        """Timestamps of dropped packets per destination prefix — the input
+        of the time-offset MLE (Fig. 2)."""
+        dropped = self._packets[self._packets["dropped"]]
+        out: Dict[IPv4Prefix, np.ndarray] = {}
+        for prefix in prefixes:
+            mask = _prefix_mask(prefix.length)
+            hit = (dropped["dst_ip"] & mask) == np.uint32(prefix.network_int)
+            times = dropped["time"][hit]
+            if len(times):
+                out[prefix] = times.astype(np.float64)
+        return out
+
+    # -- summaries ----------------------------------------------------------------
+
+    def dropped_share(self) -> float:
+        """Packet-level dropped share over the whole corpus."""
+        if len(self._packets) == 0:
+            raise CorpusError("empty data-plane corpus")
+        return float(self._packets["dropped"].mean())
+
+    def total_bytes(self) -> int:
+        return int(self._packets["size"].astype(np.int64).sum())
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save_npz(self, path: str | Path) -> None:
+        np.savez_compressed(path, packets=self._packets,
+                            sampling_rate=self.sampling_rate)
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "DataPlaneCorpus":
+        with np.load(path) as archive:
+            try:
+                packets = archive["packets"]
+                rate = int(archive["sampling_rate"])
+            except KeyError as exc:
+                raise CorpusError(f"{path}: missing array {exc}") from exc
+        return cls(packets, sampling_rate=rate)

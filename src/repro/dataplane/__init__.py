@@ -1,0 +1,24 @@
+"""Data-plane substrate: flow specifications, 1:N IPFIX packet sampling,
+the IXP switching fabric with its blackhole MAC, and the per-member
+blackhole-acceptance timeline used to mark sampled packets as dropped.
+"""
+
+from repro.dataplane.flow import FlowLabel, FlowSpec
+from repro.dataplane.packet import PACKET_DTYPE, SampledPacket, packets_from_arrays
+from repro.dataplane.sampler import IPFIXSampler, SAMPLING_RATE_DEFAULT
+from repro.dataplane.timeline import AcceptanceTimeline, IntervalSet
+from repro.dataplane.fabric import BLACKHOLE_MAC, SwitchingFabric
+
+__all__ = [
+    "FlowSpec",
+    "FlowLabel",
+    "SampledPacket",
+    "PACKET_DTYPE",
+    "packets_from_arrays",
+    "IPFIXSampler",
+    "SAMPLING_RATE_DEFAULT",
+    "AcceptanceTimeline",
+    "IntervalSet",
+    "SwitchingFabric",
+    "BLACKHOLE_MAC",
+]

@@ -1,0 +1,117 @@
+"""The IXP switching fabric.
+
+Models the layer-2 view the paper measures: every member connects a router
+with a known MAC and a peering-LAN IP; routes announce a next-hop IP which
+the fabric resolves to a MAC. The blackholing service announces a special
+next-hop IP that maps to the *blackhole MAC* — a MAC no port forwards — so
+any packet resolved to it is dropped on the fabric, which is exactly how
+the IXP identifies dropped traffic in its IPFIX samples (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.bgp.route_server import RouteServerPeer
+from repro.errors import FabricError
+from repro.net.ip import IPv4Address, IPv4Prefix
+from repro.net.mac import MACAddress
+from repro.net.radix import RadixTree
+
+#: The locally-administered MAC the blackhole next hop resolves to.
+BLACKHOLE_MAC = MACAddress("de:ad:be:ef:06:66")
+
+
+@dataclass(frozen=True)
+class PortBinding:
+    """One member router attached to the fabric."""
+
+    member_asn: int
+    router_mac: MACAddress
+    router_ip: IPv4Address
+
+
+class SwitchingFabric:
+    """Next-hop resolution on the peering LAN.
+
+    Keeps the ARP-like next-hop-IP → MAC table, an ownership table of which
+    member's router a destination prefix is normally delivered to, and the
+    blackhole binding. :meth:`forward` answers, for a packet entering from
+    one member towards a destination IP, which MAC it leaves towards — and
+    whether that means it was dropped.
+    """
+
+    def __init__(self, blackhole_ip: IPv4Address,
+                 blackhole_mac: MACAddress = BLACKHOLE_MAC):
+        self.blackhole_ip = blackhole_ip
+        self.blackhole_mac = blackhole_mac
+        self._bindings: Dict[int, PortBinding] = {}
+        self._mac_by_ip: Dict[int, MACAddress] = {int(blackhole_ip): blackhole_mac}
+        self._owner: RadixTree[int] = RadixTree()
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach(self, member_asn: int, router_mac: MACAddress,
+               router_ip: IPv4Address) -> PortBinding:
+        """Attach a member router; MACs and IPs must be unique on the LAN."""
+        if member_asn in self._bindings:
+            raise FabricError(f"AS{member_asn} already attached")
+        if int(router_ip) in self._mac_by_ip:
+            raise FabricError(f"peering IP {router_ip} already in use")
+        if any(b.router_mac == router_mac for b in self._bindings.values()):
+            raise FabricError(f"MAC {router_mac} already in use")
+        binding = PortBinding(member_asn, router_mac, router_ip)
+        self._bindings[member_asn] = binding
+        self._mac_by_ip[int(router_ip)] = router_mac
+        return binding
+
+    def binding(self, member_asn: int) -> PortBinding:
+        try:
+            return self._bindings[member_asn]
+        except KeyError:
+            raise FabricError(f"AS{member_asn} not attached") from None
+
+    def claim_prefix(self, prefix: IPv4Prefix, member_asn: int) -> None:
+        """Record that traffic to ``prefix`` is normally handed to this
+        member (the victim-side default when no blackhole route exists)."""
+        if member_asn not in self._bindings:
+            raise FabricError(f"AS{member_asn} not attached")
+        self._owner.insert(prefix, member_asn)
+
+    def owner_of(self, dst_ip: IPv4Address | int) -> Optional[int]:
+        hit = self._owner.lookup(dst_ip)
+        return None if hit is None else hit[1]
+
+    def resolve_mac(self, next_hop: IPv4Address) -> MACAddress:
+        try:
+            return self._mac_by_ip[int(next_hop)]
+        except KeyError:
+            raise FabricError(f"no MAC known for next hop {next_hop}") from None
+
+    # -- forwarding ------------------------------------------------------------
+
+    def forward(self, ingress_peer: RouteServerPeer,
+                dst_ip: IPv4Address | int) -> Tuple[Optional[MACAddress], bool]:
+        """Resolve the egress MAC for a packet from ``ingress_peer``.
+
+        The ingress member's Loc-RIB (route-server-learned routes, including
+        any accepted blackholes) wins over the static ownership table.
+        Returns ``(mac, dropped)``; ``mac`` is ``None`` when nothing at the
+        IXP knows the destination.
+        """
+        route = ingress_peer.loc_rib.lookup(dst_ip)
+        if route is not None:
+            mac = self.resolve_mac(route.next_hop)
+            return mac, mac == self.blackhole_mac
+        owner = self.owner_of(dst_ip)
+        if owner is None:
+            return None, False
+        return self._bindings[owner].router_mac, False
+
+    @property
+    def member_asns(self) -> list[int]:
+        return sorted(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)

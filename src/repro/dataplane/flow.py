@@ -1,0 +1,77 @@
+"""Flow specifications: the unit of traffic the generators emit.
+
+A :class:`FlowSpec` describes one unidirectional 5-tuple aggregate crossing
+the IXP during a time interval at a constant mean packet rate. The IPFIX
+sampler thins each spec statistically (Poisson with mean
+``pps * duration / sampling_rate``) into individual sampled packet records —
+the only representation the study ever observes, so per-packet simulation
+of the unsampled stream is deliberately skipped (see DESIGN.md §5).
+
+``label`` carries generator ground truth (attack vs legitimate vs scan).
+The analysis pipeline never reads it; validation tests do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import ScenarioError
+
+
+class FlowLabel(IntEnum):
+    """Ground-truth class of a generated flow (never used by analyses)."""
+
+    UNKNOWN = 0
+    LEGIT = 1
+    ATTACK = 2
+    SCAN = 3
+    BILATERAL_BLACKHOLE = 4
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One 5-tuple traffic aggregate over ``[start, start + duration)``.
+
+    ``ingress_asn`` is the IXP member handing the traffic over (the paper's
+    *handover AS*, derived there from source MACs); ``origin_asn`` the AS
+    hosting the source address (the paper's *origin AS*).
+    """
+
+    start: float
+    duration: float
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+    pps: float
+    mean_packet_size: float
+    ingress_asn: int
+    origin_asn: int
+    label: FlowLabel = FlowLabel.UNKNOWN
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ScenarioError(f"flow duration must be positive: {self.duration}")
+        if self.pps <= 0:
+            raise ScenarioError(f"flow pps must be positive: {self.pps}")
+        if not 40 <= self.mean_packet_size <= 9000:
+            raise ScenarioError(
+                f"mean packet size implausible: {self.mean_packet_size}"
+            )
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ScenarioError("transport ports must be u16")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def expected_packets(self) -> float:
+        """Mean number of (unsampled) packets in the interval."""
+        return self.pps * self.duration
+
+    @property
+    def expected_bytes(self) -> float:
+        return self.expected_packets * self.mean_packet_size

@@ -1,0 +1,62 @@
+"""Bridges the route server's control plane into the acceptance timeline.
+
+The recorder subscribes to a :class:`~repro.bgp.route_server.RouteServer`
+and, after each processed update, diffs the per-peer accepted state for the
+touched prefix against what it saw last. Only *blackhole* routes are
+tracked — ordinary routes never send traffic to the blackhole MAC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.route_server import RouteServer
+from repro.dataplane.timeline import AcceptanceTimeline
+from repro.net.ip import IPv4Prefix
+
+
+class TimelineRecorder:
+    """Listens to a route server and builds an :class:`AcceptanceTimeline`."""
+
+    def __init__(self, server: RouteServer):
+        self._server = server
+        self.timeline = AcceptanceTimeline()
+        #: per prefix: members currently holding an accepted blackhole
+        self._accepted_now: Dict[IPv4Prefix, Set[int]] = {}
+        #: prefixes currently announced as blackholes, with announcer sets
+        self._announcers: Dict[IPv4Prefix, Set[int]] = {}
+        server.subscribe(self._on_update)
+
+    def _on_update(self, update: BGPUpdate) -> None:
+        prefix = update.prefix
+        self._track_server_state(update, prefix)
+        self._track_acceptance(update.time, prefix)
+
+    def _track_server_state(self, update: BGPUpdate, prefix: IPv4Prefix) -> None:
+        announcers = self._announcers.setdefault(prefix, set())
+        if update.is_announce and update.is_blackhole:
+            if update.peer_asn not in announcers:
+                announcers.add(update.peer_asn)
+                self.timeline.record_server_announce(prefix, update.time)
+        elif update.peer_asn in announcers:
+            # withdraw, or re-announce without the blackhole community
+            announcers.discard(update.peer_asn)
+            self.timeline.record_server_withdraw(prefix, update.time)
+
+    def _track_acceptance(self, time: float, prefix: IPv4Prefix) -> None:
+        # Only peers that currently hold the route — or held it accepted
+        # before this update — can change state; checking just those keeps
+        # long scenario replays linear instead of O(updates × members).
+        holders = self._accepted_now.setdefault(prefix, set())
+        candidates = self._server.peers_with_route(prefix) | holders
+        for asn in candidates:
+            peer = self._server.peer(asn)
+            route = peer.loc_rib.get(prefix)
+            accepted = route is not None and route.is_blackhole
+            if accepted and asn not in holders:
+                holders.add(asn)
+                self.timeline.record_acceptance(asn, prefix, True, time)
+            elif not accepted and asn in holders:
+                holders.discard(asn)
+                self.timeline.record_acceptance(asn, prefix, False, time)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4/MAC address or prefix could not be parsed or is invalid."""
+
+
+class BGPError(ReproError):
+    """A BGP message, route, or route-server operation is invalid."""
+
+
+class PolicyError(BGPError):
+    """A BGP policy was mis-specified or could not be evaluated."""
+
+
+class FabricError(ReproError):
+    """The switching fabric was asked to do something inconsistent."""
+
+
+class ScenarioError(ReproError):
+    """A scenario configuration is invalid or inconsistent."""
+
+
+class CorpusError(ReproError):
+    """A corpus is missing data required by an analysis step."""
+
+
+class AnalysisError(ReproError):
+    """An analysis step received inputs it cannot process."""

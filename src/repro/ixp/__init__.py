@@ -1,0 +1,21 @@
+"""IXP assembly: the member registry, a synthetic PeeringDB, the
+blackholing service, and the :class:`~repro.ixp.platform.IXP` facade that
+wires route server, switching fabric and acceptance timeline together.
+"""
+
+from repro.ixp.peeringdb import OrgType, PeeringDB, PeeringDBRecord
+from repro.ixp.member import IXPMember
+from repro.ixp.blackholing import BlackholingService
+from repro.ixp.flowspec import FlowSpecRule, FlowSpecService
+from repro.ixp.platform import IXP
+
+__all__ = [
+    "OrgType",
+    "PeeringDB",
+    "PeeringDBRecord",
+    "IXPMember",
+    "BlackholingService",
+    "FlowSpecService",
+    "FlowSpecRule",
+    "IXP",
+]

@@ -1,0 +1,79 @@
+"""The IXP's RTBH service.
+
+Wraps blackhole signalling the way the IXP offers it: a member announces a
+prefix with the BLACKHOLE community and the service's well-known next-hop
+IP; the route server redistributes it (honouring targeted-announcement
+communities); the fabric maps the next hop to the blackhole MAC. The
+service validates that members only blackhole their own address space,
+mirroring the route-server filters real IXPs apply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bgp.community import BLACKHOLE, Community, announce_to, suppress_all
+from repro.bgp.message import BGPUpdate, announce, withdraw
+from repro.bgp.route_server import RouteServer
+from repro.errors import BGPError
+from repro.ixp.member import IXPMember
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+
+class BlackholingService:
+    """Build and submit RTBH announcements/withdrawals for members."""
+
+    def __init__(self, route_server: RouteServer, blackhole_next_hop: IPv4Address,
+                 enforce_ownership: bool = True):
+        self._server = route_server
+        self.next_hop = blackhole_next_hop
+        self.enforce_ownership = enforce_ownership
+
+    def build_announcement(
+        self,
+        time: float,
+        member: IXPMember,
+        prefix: IPv4Prefix,
+        targets: Optional[Iterable[int]] = None,
+        extra_communities: Iterable[Community] = (),
+        origin_asn: Optional[int] = None,
+    ) -> BGPUpdate:
+        """An RTBH announcement; ``targets`` restricts redistribution to the
+        given peer ASNs (a *targeted* blackhole, §4.1). Untargeted
+        announcements reach every peer. ``origin_asn`` marks a customer AS
+        the member announces the blackhole on behalf of (it becomes the
+        rightmost AS of the path, as the paper's origin-AS extraction
+        expects)."""
+        if self.enforce_ownership and not member.originates(prefix):
+            raise BGPError(
+                f"AS{member.asn} may not blackhole {prefix}: not its address space"
+            )
+        communities = {BLACKHOLE, *extra_communities}
+        if targets is not None:
+            communities.add(suppress_all(self._server.asn))
+            for asn in targets:
+                communities.add(announce_to(self._server.asn, asn))
+        as_path: tuple[int, ...] = ()
+        if origin_asn is not None and origin_asn != member.asn:
+            as_path = (member.asn, origin_asn)
+        return announce(time, member.asn, prefix, self.next_hop,
+                        as_path=as_path, communities=frozenset(communities))
+
+    def announce_blackhole(self, time: float, member: IXPMember, prefix: IPv4Prefix,
+                           targets: Optional[Iterable[int]] = None,
+                           origin_asn: Optional[int] = None) -> BGPUpdate:
+        """Build, submit, and return an RTBH announcement."""
+        update = self.build_announcement(time, member, prefix, targets,
+                                         origin_asn=origin_asn)
+        self._server.process(update)
+        return update
+
+    def withdraw_blackhole(self, time: float, member: IXPMember,
+                           prefix: IPv4Prefix) -> BGPUpdate:
+        """Withdraw a blackhole previously announced by ``member``."""
+        update = withdraw(time, member.asn, prefix)
+        self._server.process(update)
+        return update
+
+    def active_blackholes(self) -> set[IPv4Prefix]:
+        return self._server.announced_blackholes()

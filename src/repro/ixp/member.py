@@ -1,0 +1,35 @@
+"""IXP members: an AS connected to the peering platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.bgp.route_server import RouteServerPeer
+from repro.net.ip import IPv4Address, IPv4Prefix
+from repro.net.mac import MACAddress
+
+
+@dataclass
+class IXPMember:
+    """One member: its session at the route server, its port on the fabric,
+    and the address space it originates (and may blackhole into)."""
+
+    asn: int
+    name: str
+    router_mac: MACAddress
+    router_ip: IPv4Address
+    peer: RouteServerPeer
+    #: prefixes this member originates on the platform
+    originated: List[IPv4Prefix] = field(default_factory=list)
+
+    def originates(self, prefix: IPv4Prefix) -> bool:
+        """Whether ``prefix`` falls inside this member's address space."""
+        return any(prefix in owned for owned in self.originated)
+
+    @property
+    def policy_name(self) -> str:
+        return self.peer.policy.name
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.name}, {self.policy_name})"

@@ -1,0 +1,117 @@
+"""A synthetic PeeringDB.
+
+The paper joins AS numbers against PeeringDB organisation types twice: for
+the top-100 traffic sources towards /32 blackholes (Fig. 8) and for the
+origin ASes of detected client/server hosts (Table 4). This registry holds
+the same information — ``info_type`` per ASN — and the scenario generator
+populates it with a mix matching the paper's observed distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+
+class OrgType(str, Enum):
+    """PeeringDB ``info_type`` values the paper reports."""
+
+    CONTENT = "Content"
+    CABLE_DSL_ISP = "Cable/DSL/ISP"
+    NSP = "NSP"
+    ENTERPRISE = "Enterprise"
+    EDUCATIONAL = "Educational/Research"
+    NON_PROFIT = "Non-Profit"
+    UNKNOWN = "Unknown"
+
+
+@dataclass(frozen=True)
+class PeeringDBRecord:
+    """One network entry."""
+
+    asn: int
+    name: str
+    org_type: OrgType
+    #: geographic scope as PeeringDB reports it ("Global", "Europe", ...)
+    scope: str = "Regional"
+
+
+class PeeringDB:
+    """ASN → organisation metadata, with an `Unknown` default like the
+    real database (not every AS maintains an entry)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, PeeringDBRecord] = {}
+
+    def register(self, record: PeeringDBRecord) -> None:
+        if record.asn in self._records:
+            raise ScenarioError(f"AS{record.asn} already registered in PeeringDB")
+        self._records[record.asn] = record
+
+    def get(self, asn: int) -> Optional[PeeringDBRecord]:
+        return self._records.get(asn)
+
+    def org_type(self, asn: int) -> OrgType:
+        """The organisation type, `UNKNOWN` when the AS has no entry."""
+        record = self._records.get(asn)
+        return OrgType.UNKNOWN if record is None else record.org_type
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PeeringDBRecord]:
+        return iter(self._records.values())
+
+    def type_histogram(self, asns: Iterable[int]) -> Dict[OrgType, int]:
+        """Count organisation types over a set of ASNs (Fig. 8 / Table 4)."""
+        out: Dict[OrgType, int] = {}
+        for asn in asns:
+            t = self.org_type(asn)
+            out[t] = out.get(t, 0) + 1
+        return out
+
+    @classmethod
+    def synthesize(
+        cls,
+        asns: Iterable[int],
+        rng: np.random.Generator,
+        type_mix: Mapping[OrgType, float] | None = None,
+        coverage: float = 0.8,
+    ) -> "PeeringDB":
+        """Populate a registry for ``asns``.
+
+        ``type_mix`` gives sampling weights over org types;
+        ``coverage`` is the fraction of ASes that have an entry at all
+        (the rest resolve to `UNKNOWN`, as in the paper's tables).
+        """
+        if not 0.0 <= coverage <= 1.0:
+            raise ScenarioError(f"coverage must be in [0,1]: {coverage}")
+        mix = dict(type_mix or {
+            OrgType.NSP: 0.30,
+            OrgType.CABLE_DSL_ISP: 0.30,
+            OrgType.CONTENT: 0.25,
+            OrgType.ENTERPRISE: 0.10,
+            OrgType.EDUCATIONAL: 0.05,
+        })
+        total = sum(mix.values())
+        if total <= 0:
+            raise ScenarioError("type_mix weights must sum to a positive value")
+        types = list(mix)
+        weights = np.array([mix[t] for t in types]) / total
+        db = cls()
+        for asn in asns:
+            if rng.random() >= coverage:
+                continue
+            org_type = types[int(rng.choice(len(types), p=weights))]
+            scope = "Global" if rng.random() < 0.15 else "Regional"
+            db.register(PeeringDBRecord(asn=asn, name=f"AS{asn} Networks",
+                                        org_type=org_type, scope=scope))
+        return db

@@ -1,0 +1,125 @@
+"""The IXP facade: route server + switching fabric + members + PeeringDB +
+blackholing service + acceptance-timeline recorder, wired together.
+
+Scenario code builds one :class:`IXP`, attaches members with their import
+policies and address space, and then drives blackholes and traffic through
+it. Addressing on the peering LAN is managed internally (sequential router
+IPs/MACs from dedicated ranges, plus the blackhole binding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bgp.message import announce
+from repro.bgp.policy import ImportPolicy
+from repro.bgp.route_server import RouteServer
+from repro.dataplane.fabric import BLACKHOLE_MAC, SwitchingFabric
+from repro.dataplane.listener import TimelineRecorder
+from repro.dataplane.timeline import AcceptanceTimeline
+from repro.errors import ScenarioError
+from repro.ixp.blackholing import BlackholingService
+from repro.ixp.member import IXPMember
+from repro.ixp.peeringdb import PeeringDB
+from repro.net.ip import IPv4Address, IPv4Prefix
+from repro.net.mac import MACAddress
+
+#: Peering LAN of the platform; router IPs are assigned from it.
+PEERING_LAN = IPv4Prefix("172.16.0.0/16")
+#: Well-known next hop announced by the blackholing service.
+BLACKHOLE_NEXT_HOP = IPv4Address("172.16.255.254")
+#: Base of the locally-administered MAC range handed to member routers.
+ROUTER_MAC_BASE = 0x06_00_00_00_00_00
+
+
+class IXP:
+    """A complete IXP platform instance."""
+
+    def __init__(self, route_server_asn: int = 64500,
+                 enforce_blackhole_ownership: bool = True):
+        self.route_server = RouteServer(asn=route_server_asn)
+        self.fabric = SwitchingFabric(blackhole_ip=BLACKHOLE_NEXT_HOP,
+                                      blackhole_mac=BLACKHOLE_MAC)
+        self.blackholing = BlackholingService(
+            self.route_server, BLACKHOLE_NEXT_HOP,
+            enforce_ownership=enforce_blackhole_ownership,
+        )
+        self.peeringdb = PeeringDB()
+        self.recorder = TimelineRecorder(self.route_server)
+        self._members: Dict[int, IXPMember] = {}
+        self._next_host = 1  # peering-LAN host counter
+
+    # -- membership -------------------------------------------------------------
+
+    def add_member(
+        self,
+        asn: int,
+        policy: Optional[ImportPolicy] = None,
+        originated: Optional[List[IPv4Prefix]] = None,
+        name: Optional[str] = None,
+        announce_routes: bool = True,
+    ) -> IXPMember:
+        """Connect a member: route-server session, fabric port, addressing.
+
+        With ``announce_routes`` the member's originated prefixes are
+        announced through the route server right away (at time 0), so every
+        peer's Loc-RIB carries the regular routes blackholes later override.
+        """
+        if asn in self._members:
+            raise ScenarioError(f"AS{asn} is already an IXP member")
+        router_ip = self._allocate_router_ip()
+        router_mac = MACAddress(ROUTER_MAC_BASE + len(self._members) + 1)
+        peer = self.route_server.add_peer(asn, policy=policy)
+        self.fabric.attach(asn, router_mac, router_ip)
+        member = IXPMember(
+            asn=asn,
+            name=name or f"AS{asn}",
+            router_mac=router_mac,
+            router_ip=router_ip,
+            peer=peer,
+            originated=list(originated or []),
+        )
+        self._members[asn] = member
+        for prefix in member.originated:
+            self.fabric.claim_prefix(prefix, asn)
+            if announce_routes:
+                self.route_server.process(
+                    announce(0.0, asn, prefix, router_ip)
+                )
+        return member
+
+    def _allocate_router_ip(self) -> IPv4Address:
+        while True:
+            candidate = IPv4Address(PEERING_LAN.network_int + self._next_host)
+            self._next_host += 1
+            if self._next_host >= PEERING_LAN.num_addresses - 2:
+                raise ScenarioError("peering LAN exhausted")
+            if candidate != BLACKHOLE_NEXT_HOP:
+                return candidate
+
+    def member(self, asn: int) -> IXPMember:
+        try:
+            return self._members[asn]
+        except KeyError:
+            raise ScenarioError(f"AS{asn} is not an IXP member") from None
+
+    @property
+    def member_asns(self) -> List[int]:
+        return sorted(self._members)
+
+    def members(self) -> List[IXPMember]:
+        return [self._members[asn] for asn in self.member_asns]
+
+    def owner_of(self, address: IPv4Address | int) -> Optional[IXPMember]:
+        """The member whose address space contains ``address``."""
+        asn = self.fabric.owner_of(address)
+        return None if asn is None else self._members.get(asn)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- timeline ------------------------------------------------------------------
+
+    def finalize_timeline(self, end_time: float) -> AcceptanceTimeline:
+        """Freeze and return the blackhole acceptance timeline."""
+        return self.recorder.timeline.finalize(end_time)

@@ -1,0 +1,41 @@
+"""Operator-side mitigation behaviour: volumetric DDoS detection and the
+RTBH announce/withdraw patterns (automatic on–off probing, manual
+long-lived blackholes, forgotten zombies, squatting protection).
+"""
+
+from repro.mitigation.detector import DetectorConfig, VolumetricDetector
+from repro.mitigation.controller import (
+    BlackholeWindow,
+    RTBHControllerConfig,
+    ddos_reaction_windows,
+    manual_window,
+    squatting_window,
+    zombie_window,
+)
+from repro.mitigation.finegrained import (
+    FilterAction,
+    FilterChain,
+    FilterRule,
+    MitigationScore,
+    amplification_filter,
+    rtbh_filter,
+    score_mitigation,
+)
+
+__all__ = [
+    "VolumetricDetector",
+    "DetectorConfig",
+    "BlackholeWindow",
+    "RTBHControllerConfig",
+    "ddos_reaction_windows",
+    "manual_window",
+    "zombie_window",
+    "squatting_window",
+    "FilterRule",
+    "FilterChain",
+    "FilterAction",
+    "MitigationScore",
+    "amplification_filter",
+    "rtbh_filter",
+    "score_mitigation",
+]

@@ -1,0 +1,130 @@
+"""RTBH announce/withdraw behaviour.
+
+Produces :class:`BlackholeWindow` sequences — one window per
+announce…withdraw pair — for each operational pattern the paper
+identifies:
+
+* **automatic DDoS reaction** (§2.2, Fig. 9): first announcement a short
+  reaction delay after the attack starts, then repeated
+  withdraw-to-probe / re-announce cycles, because a victim behind an
+  effective blackhole is blind to the attack's progress;
+* **manual blackholes**: hours-late reaction, very long hold times;
+* **zombies** (§7.3): announced once, never withdrawn;
+* **squatting protection** (§2.3): a ≤ /24 covering prefix held for
+  months, announced in parallel with nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class BlackholeWindow:
+    """One contiguous announce→withdraw span of a blackhole.
+
+    ``withdraw_time`` of ``None`` means "never withdrawn" (the window runs
+    to the end of the observation, a zombie).
+    """
+
+    announce_time: float
+    withdraw_time: Optional[float]
+
+    def __post_init__(self) -> None:
+        if self.withdraw_time is not None and self.withdraw_time <= self.announce_time:
+            raise ScenarioError("withdraw must come after announce")
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.withdraw_time is None:
+            return None
+        return self.withdraw_time - self.announce_time
+
+
+@dataclass(frozen=True)
+class RTBHControllerConfig:
+    """Timing of the automatic reaction pattern (all in seconds)."""
+
+    #: detection + triggering latency range (uniform draw)
+    reaction_delay: tuple[float, float] = (30.0, 600.0)
+    #: how long a blackhole is held before probing for attack end
+    hold_time: tuple[float, float] = (300.0, 1800.0)
+    #: withdrawal gap used to probe whether the attack still runs
+    probe_gap: tuple[float, float] = (60.0, 420.0)
+    #: extra hold after the attack actually ended (the victim only learns
+    #: about the end through a probe)
+    max_windows: int = 40
+
+    def __post_init__(self) -> None:
+        for name in ("reaction_delay", "hold_time", "probe_gap"):
+            low, high = getattr(self, name)
+            if not 0 <= low <= high:
+                raise ScenarioError(f"invalid {name} range: ({low}, {high})")
+        if self.max_windows < 1:
+            raise ScenarioError("max_windows must be >= 1")
+
+
+def _draw(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    low, high = bounds
+    return float(rng.uniform(low, high)) if high > low else low
+
+
+def ddos_reaction_windows(
+    rng: np.random.Generator,
+    attack_start: float,
+    attack_end: float,
+    config: RTBHControllerConfig | None = None,
+) -> List[BlackholeWindow]:
+    """The automatic on–off mitigation pattern for one attack.
+
+    The first window opens ``reaction_delay`` after the attack begins;
+    subsequent windows follow probe gaps for as long as the probe still
+    sees attack traffic. The final withdrawal happens at the first probe
+    after the attack ended.
+    """
+    if attack_end <= attack_start:
+        raise ScenarioError("attack must have positive duration")
+    config = config or RTBHControllerConfig()
+    windows: List[BlackholeWindow] = []
+    t = attack_start + _draw(rng, config.reaction_delay)
+    while len(windows) < config.max_windows:
+        hold_until = t + _draw(rng, config.hold_time)
+        windows.append(BlackholeWindow(t, hold_until))
+        if hold_until >= attack_end:
+            # the probe after this hold finds the attack gone: stop
+            break
+        t = hold_until + _draw(rng, config.probe_gap)
+        if t >= attack_end:
+            # probed after the end: no re-announcement needed
+            break
+    return windows
+
+
+def manual_window(
+    rng: np.random.Generator,
+    attack_start: float,
+    reaction_delay: tuple[float, float] = (1800.0, 14_400.0),
+    hold: tuple[float, float] = (21_600.0, 604_800.0),
+) -> BlackholeWindow:
+    """A manually triggered blackhole: late, and held from hours to a week."""
+    start = attack_start + _draw(rng, reaction_delay)
+    return BlackholeWindow(start, start + _draw(rng, hold))
+
+
+def zombie_window(announce_time: float) -> BlackholeWindow:
+    """A blackhole that is never withdrawn (§7.3's "RTBH zombies")."""
+    return BlackholeWindow(announce_time, None)
+
+
+def squatting_window(
+    rng: np.random.Generator,
+    start: float,
+    hold: tuple[float, float] = (30 * 86_400.0, 120 * 86_400.0),
+) -> BlackholeWindow:
+    """Squatting-protection blackhole: months-long, for a covering prefix."""
+    return BlackholeWindow(start, start + _draw(rng, hold))

@@ -1,0 +1,161 @@
+"""Fine-grained filtering — the alternative to RTBH the paper argues for.
+
+§5.5 shows that ~90% of the observed DDoS events could have been fully
+mitigated by dropping UDP packets from a-priori known amplification source
+ports, with zero collateral damage. This module implements that mitigation
+primitive: an ordered rule chain in the spirit of BGP FlowSpec
+(RFC 5575) / ACL filters, vectorized over packet arrays, plus an
+evaluator that scores a rule chain against coarse RTBH dropping on the
+same traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataplane.flow import FlowLabel
+from repro.errors import ScenarioError
+from repro.net.ip import IPv4Prefix
+from repro.net.ports import AMPLIFICATION_PORTS
+
+_MAX32 = 0xFFFFFFFF
+
+
+class FilterAction(str, Enum):
+    DROP = "drop"
+    ACCEPT = "accept"
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One match/action rule (a simplified FlowSpec entry).
+
+    All given match components must hold (logical AND); ``None`` matches
+    anything. Port sets match exact values; ranges are inclusive.
+    """
+
+    action: FilterAction = FilterAction.DROP
+    protocol: Optional[int] = None
+    src_ports: Optional[FrozenSet[int]] = None
+    dst_ports: Optional[FrozenSet[int]] = None
+    src_port_range: Optional[Tuple[int, int]] = None
+    dst_port_range: Optional[Tuple[int, int]] = None
+    src_prefix: Optional[IPv4Prefix] = None
+    dst_prefix: Optional[IPv4Prefix] = None
+
+    def __post_init__(self) -> None:
+        for name in ("src_port_range", "dst_port_range"):
+            bounds = getattr(self, name)
+            if bounds is not None:
+                low, high = bounds
+                if not 0 <= low <= high <= 0xFFFF:
+                    raise ScenarioError(f"bad {name}: {bounds}")
+
+    def matches(self, packets: np.ndarray) -> np.ndarray:
+        """Vectorized match over a PACKET_DTYPE array."""
+        mask = np.ones(len(packets), dtype=bool)
+        if self.protocol is not None:
+            mask &= packets["protocol"] == self.protocol
+        if self.src_ports is not None:
+            mask &= np.isin(packets["src_port"], sorted(self.src_ports))
+        if self.dst_ports is not None:
+            mask &= np.isin(packets["dst_port"], sorted(self.dst_ports))
+        if self.src_port_range is not None:
+            low, high = self.src_port_range
+            mask &= (packets["src_port"] >= low) & (packets["src_port"] <= high)
+        if self.dst_port_range is not None:
+            low, high = self.dst_port_range
+            mask &= (packets["dst_port"] >= low) & (packets["dst_port"] <= high)
+        if self.src_prefix is not None:
+            mask &= _in_prefix(packets["src_ip"], self.src_prefix)
+        if self.dst_prefix is not None:
+            mask &= _in_prefix(packets["dst_ip"], self.dst_prefix)
+        return mask
+
+
+def _in_prefix(addresses: np.ndarray, prefix: IPv4Prefix) -> np.ndarray:
+    bits = (_MAX32 << (32 - prefix.length)) & _MAX32 if prefix.length else 0
+    return (addresses & np.uint32(bits)) == np.uint32(prefix.network_int)
+
+
+@dataclass
+class FilterChain:
+    """An ordered rule chain with a default action (first match wins)."""
+
+    rules: Sequence[FilterRule] = field(default_factory=list)
+    default: FilterAction = FilterAction.ACCEPT
+
+    def dropped(self, packets: np.ndarray) -> np.ndarray:
+        """Boolean drop decision per packet."""
+        decided = np.zeros(len(packets), dtype=bool)
+        drop = np.zeros(len(packets), dtype=bool)
+        for rule in self.rules:
+            hit = rule.matches(packets) & ~decided
+            if rule.action is FilterAction.DROP:
+                drop |= hit
+            decided |= hit
+        if self.default is FilterAction.DROP:
+            drop |= ~decided
+        return drop
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def amplification_filter(victim: IPv4Prefix,
+                         ports: FrozenSet[int] = AMPLIFICATION_PORTS) -> FilterChain:
+    """The §5.5 mitigation: drop UDP traffic from known amplification
+    source ports towards the victim, accept everything else."""
+    return FilterChain(rules=[FilterRule(
+        action=FilterAction.DROP,
+        protocol=17,
+        src_ports=frozenset(ports),
+        dst_prefix=victim,
+    )])
+
+
+def rtbh_filter(victim: IPv4Prefix) -> FilterChain:
+    """Coarse RTBH as a rule chain: drop *everything* towards the victim."""
+    return FilterChain(rules=[FilterRule(action=FilterAction.DROP,
+                                         dst_prefix=victim)])
+
+
+@dataclass(frozen=True)
+class MitigationScore:
+    """How a filter chain performs against labelled traffic."""
+
+    attack_packets: int
+    attack_dropped: int
+    legit_packets: int
+    legit_dropped: int
+
+    @property
+    def attack_coverage(self) -> float:
+        """Share of attack packets the mitigation removes."""
+        return self.attack_dropped / self.attack_packets if self.attack_packets else 0.0
+
+    @property
+    def collateral_rate(self) -> float:
+        """Share of legitimate packets the mitigation kills."""
+        return self.legit_dropped / self.legit_packets if self.legit_packets else 0.0
+
+
+def score_mitigation(chain: FilterChain, packets: np.ndarray) -> MitigationScore:
+    """Score a chain against generator ground-truth labels.
+
+    Only meaningful on synthetic corpora (labels are never available on
+    real data); used by ablation benches and validation tests.
+    """
+    dropped = chain.dropped(packets)
+    attack = packets["label"] == int(FlowLabel.ATTACK)
+    legit = packets["label"] == int(FlowLabel.LEGIT)
+    return MitigationScore(
+        attack_packets=int(attack.sum()),
+        attack_dropped=int((attack & dropped).sum()),
+        legit_packets=int(legit.sum()),
+        legit_dropped=int((legit & dropped).sum()),
+    )

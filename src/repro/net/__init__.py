@@ -1,0 +1,35 @@
+"""Network-layer primitives: IPv4 addresses and prefixes, MAC addresses,
+longest-prefix matching, and protocol/port registries.
+
+These are implemented from scratch (int-backed, hashable, total ordering)
+rather than on top of :mod:`ipaddress` so the rest of the library controls
+exactly the semantics it needs — in particular cheap bulk conversion to and
+from :class:`numpy.uint32` arrays for the data-plane corpus.
+"""
+
+from repro.net.ip import IPv4Address, IPv4Prefix
+from repro.net.mac import MACAddress
+from repro.net.radix import RadixTree
+from repro.net.ports import (
+    AMPLIFICATION_PORTS,
+    AMPLIFICATION_PROTOCOLS,
+    AmplificationProtocol,
+    WellKnownPort,
+    amplification_port_numbers,
+    is_amplification_port,
+)
+from repro.net.protocols import IPProtocol
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "MACAddress",
+    "RadixTree",
+    "IPProtocol",
+    "AmplificationProtocol",
+    "AMPLIFICATION_PROTOCOLS",
+    "AMPLIFICATION_PORTS",
+    "WellKnownPort",
+    "amplification_port_numbers",
+    "is_amplification_port",
+]

@@ -1,0 +1,84 @@
+"""48-bit MAC addresses.
+
+The IXP data set identifies member routers — and critically the *blackhole*
+next hop — by MAC address, so MACs are first-class values in the corpus.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Union
+
+from repro.errors import AddressError
+
+_MAX_MAC = 0xFFFFFFFFFFFF
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2})([:\-]?)([0-9a-fA-F]{2})\2([0-9a-fA-F]{2})\2"
+                     r"([0-9a-fA-F]{2})\2([0-9a-fA-F]{2})\2([0-9a-fA-F]{2})$")
+
+MACLike = Union["MACAddress", int, str]
+
+
+@total_ordering
+class MACAddress:
+    """A 48-bit MAC address, accepted as colon/dash-separated hex or int.
+
+    >>> str(MACAddress("aa:bb:cc:00:11:22"))
+    'aa:bb:cc:00:11:22'
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: MACLike):
+        if isinstance(value, MACAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= _MAX_MAC:
+                raise AddressError(f"MAC int out of range: {value!r}")
+            self._value = value
+        elif isinstance(value, str):
+            match = _MAC_RE.match(value.strip())
+            if match is None:
+                raise AddressError(f"not a MAC address: {value!r}")
+            groups = match.groups()
+            octets = [groups[0]] + list(groups[2:])
+            self._value = int("".join(octets), 16)
+        else:
+            raise AddressError(f"cannot build MACAddress from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """Whether the U/L bit of the first octet is set."""
+        return bool((self._value >> 40) & 0x02)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MACAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACAddress):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "MACAddress") -> bool:
+        if not isinstance(other, MACAddress):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)

@@ -1,0 +1,101 @@
+"""Transport-port registries.
+
+The centrepiece is the list of known UDP amplification protocols from the
+paper's Table 3 footnote; the fine-grained-filtering analysis (Fig. 14) and
+the per-event protocol counting (Table 3) both key on this registry. A small
+set of well-known service ports is also provided for the legitimate-traffic
+generators and the server/client host classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import FrozenSet, Mapping
+
+from repro.net.protocols import IPProtocol
+
+
+@dataclass(frozen=True)
+class AmplificationProtocol:
+    """One UDP amplification vector: its reflector source port and a rough
+    bandwidth amplification factor used by the attack generator."""
+
+    name: str
+    port: int
+    amplification_factor: float
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.port}"
+
+
+#: The known amplification protocols of Table 3. ``Fragmentation/0`` models
+#: non-initial IP fragments which carry no transport header and are exported
+#: with port 0, exactly as the paper's footnote lists them.
+AMPLIFICATION_PROTOCOLS: tuple[AmplificationProtocol, ...] = (
+    AmplificationProtocol("QOTD", 17, 140.3),
+    AmplificationProtocol("CharGEN", 19, 358.8),
+    AmplificationProtocol("DNS", 53, 54.0),
+    AmplificationProtocol("TFTP", 69, 60.0),
+    AmplificationProtocol("NTP", 123, 556.9),
+    AmplificationProtocol("NetBIOS", 138, 3.8),
+    AmplificationProtocol("SNMPv2", 161, 6.3),
+    AmplificationProtocol("cLDAP", 389, 56.0),
+    AmplificationProtocol("RIPv1", 520, 131.2),
+    AmplificationProtocol("SSDP", 1900, 30.8),
+    AmplificationProtocol("Game-3478", 3478, 4.6),
+    AmplificationProtocol("Game-3659", 3659, 5.0),
+    AmplificationProtocol("SIP", 5060, 9.0),
+    AmplificationProtocol("BitTorrent", 6881, 3.8),
+    AmplificationProtocol("Memcached", 11211, 10000.0),
+    AmplificationProtocol("Game-27005", 27005, 5.5),
+    AmplificationProtocol("Game-28960", 28960, 7.7),
+    AmplificationProtocol("Fragmentation", 0, 1.0),
+)
+
+#: Source ports of the amplification protocols, as used by the per-event
+#: protocol counting and the fine-grained-filter emulation.
+AMPLIFICATION_PORTS: FrozenSet[int] = frozenset(p.port for p in AMPLIFICATION_PROTOCOLS)
+
+_BY_PORT: Mapping[int, AmplificationProtocol] = {p.port: p for p in AMPLIFICATION_PROTOCOLS}
+
+
+def amplification_port_numbers() -> FrozenSet[int]:
+    """The a-priori known UDP amplification source ports (Table 3 list)."""
+    return AMPLIFICATION_PORTS
+
+
+def is_amplification_port(port: int, protocol: IPProtocol | int = IPProtocol.UDP) -> bool:
+    """Whether a (protocol, source port) pair matches a known amplification
+    vector. Only UDP ports count; the same numeric port over TCP does not."""
+    return int(protocol) == int(IPProtocol.UDP) and port in AMPLIFICATION_PORTS
+
+
+def amplification_protocol_for_port(port: int) -> AmplificationProtocol | None:
+    """The registry entry for a UDP source port, or ``None``."""
+    return _BY_PORT.get(port)
+
+
+class WellKnownPort(IntEnum):
+    """Service ports used by the legitimate-traffic generators."""
+
+    DNS = 53
+    HTTP = 80
+    NTP = 123
+    HTTPS = 443
+    SMTP = 25
+    IMAPS = 993
+    SSH = 22
+    RDP = 3389
+    MYSQL = 3306
+    QUIC = 443
+    MINECRAFT = 25565
+    TEAMSPEAK = 9987
+    OPENVPN = 1194
+
+
+#: Ephemeral source-port range clients draw from (RFC 6056 default range).
+EPHEMERAL_PORT_RANGE: tuple[int, int] = (49152, 65535)
+
+#: Highest valid transport port, used for RadViz normalisation (Fig. 16).
+MAX_PORT = 65535

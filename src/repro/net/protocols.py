@@ -1,0 +1,30 @@
+"""IP transport protocol numbers used throughout the corpus and analysis."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class IPProtocol(IntEnum):
+    """IANA-assigned protocol numbers for the protocols the paper reports.
+
+    ``OTHER`` stands in for the long tail the paper folds into its 0.1%
+    "other" bucket (GRE, ESP, ...).
+    """
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+    OTHER = 255
+
+    @classmethod
+    def from_number(cls, number: int) -> "IPProtocol":
+        """Map an arbitrary protocol number onto the analysis buckets."""
+        try:
+            return cls(number)
+        except ValueError:
+            return cls.OTHER
+
+    @property
+    def label(self) -> str:
+        return self.name

@@ -1,0 +1,189 @@
+"""A binary radix (Patricia-style) trie for IPv4 longest-prefix matching.
+
+This is the FIB/RIB backbone: route lookup, exact match, covered-prefix
+enumeration, and removal. Nodes branch one bit at a time which keeps the
+implementation simple and is plenty fast for the tens of thousands of
+routes a blackholing study touches.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_Node[V]]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+def _bit(address: int, depth: int) -> int:
+    """The bit of ``address`` at ``depth`` (0 = most significant)."""
+    return (address >> (31 - depth)) & 1
+
+
+class RadixTree(Generic[V]):
+    """Map from :class:`IPv4Prefix` to arbitrary values with LPM lookup.
+
+    >>> tree = RadixTree()
+    >>> tree.insert(IPv4Prefix("10.0.0.0/8"), "coarse")
+    >>> tree.insert(IPv4Prefix("10.1.0.0/16"), "fine")
+    >>> tree.lookup(IPv4Address("10.1.2.3"))
+    (IPv4Prefix('10.1.0.0/16'), 'fine')
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        network = prefix.network_int
+        for depth in range(prefix.length):
+            bit = _bit(network, depth)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: IPv4Prefix) -> Optional[V]:
+        """Exact-match lookup; ``None`` when the prefix is absent."""
+        node = self._find_node(prefix)
+        if node is None or not node.has_value:
+            return None
+        return node.value
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        node = self._find_node(prefix)
+        return node is not None and node.has_value
+
+    def lookup(self, address: IPv4Address | int) -> Optional[Tuple[IPv4Prefix, V]]:
+        """Longest-prefix match for ``address``.
+
+        Returns the ``(prefix, value)`` of the most specific covering entry,
+        or ``None`` when nothing covers the address.
+        """
+        addr = int(address)
+        node = self._root
+        best: Optional[Tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for depth in range(32):
+            node = node.children[_bit(addr, depth)]  # type: ignore[assignment]
+            if node is None:
+                break
+            if node.has_value:
+                best = (depth + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, value = best
+        return IPv4Prefix(addr, length), value
+
+    def lookup_all(self, address: IPv4Address | int) -> list[Tuple[IPv4Prefix, V]]:
+        """All covering entries for ``address``, least specific first."""
+        addr = int(address)
+        node = self._root
+        found: list[Tuple[IPv4Prefix, V]] = []
+        if node.has_value:
+            found.append((IPv4Prefix(addr, 0), node.value))  # type: ignore[arg-type]
+        for depth in range(32):
+            node = node.children[_bit(addr, depth)]  # type: ignore[assignment]
+            if node is None:
+                break
+            if node.has_value:
+                found.append((IPv4Prefix(addr, depth + 1), node.value))  # type: ignore[arg-type]
+        return found
+
+    def remove(self, prefix: IPv4Prefix) -> bool:
+        """Delete the entry at ``prefix``; returns whether it existed.
+
+        Empty branches are pruned so long-running simulations do not leak
+        nodes as blackholes come and go.
+        """
+        path: list[Tuple[_Node[V], int]] = []
+        node = self._root
+        network = prefix.network_int
+        for depth in range(prefix.length):
+            bit = _bit(network, depth)
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        # Prune now-empty leaf chain.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child is None:
+                break
+            if child.has_value or child.children[0] is not None or child.children[1] is not None:
+                break
+            parent.children[bit] = None
+        return True
+
+    def covered(self, prefix: IPv4Prefix) -> Iterator[Tuple[IPv4Prefix, V]]:
+        """Iterate entries that are equal to or more specific than ``prefix``."""
+        node = self._find_node(prefix)
+        if node is None:
+            return
+        yield from self._walk(node, prefix.network_int, prefix.length)
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, V]]:
+        """Iterate every stored ``(prefix, value)`` in bit order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def keys(self) -> Iterator[IPv4Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _, value in self.items():
+            yield value
+
+    def clear(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def _find_node(self, prefix: IPv4Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        network = prefix.network_int
+        for depth in range(prefix.length):
+            node = node.children[_bit(network, depth)]  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    def _walk(self, node: _Node[V], network: int, depth: int) -> Iterator[Tuple[IPv4Prefix, V]]:
+        if node.has_value:
+            yield IPv4Prefix(network, depth), node.value  # type: ignore[arg-type]
+        if depth == 32:
+            return
+        left = node.children[0]
+        if left is not None:
+            yield from self._walk(left, network, depth + 1)
+        right = node.children[1]
+        if right is not None:
+            yield from self._walk(right, network | (1 << (31 - depth)), depth + 1)

@@ -1,0 +1,29 @@
+"""Scenario generation: configuration, the synthetic "paper world" plan
+(members, policies, victims, attack/RTBH schedules), and the runner that
+turns a plan into control- and data-plane corpora.
+"""
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.plan import (
+    AttackVector,
+    EventCategory,
+    HostRole,
+    PlannedEvent,
+    ScenarioPlan,
+    VictimHost,
+)
+from repro.scenario.paper import build_paper_plan
+from repro.scenario.runner import ScenarioResult, run_scenario
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioPlan",
+    "PlannedEvent",
+    "VictimHost",
+    "HostRole",
+    "EventCategory",
+    "AttackVector",
+    "build_paper_plan",
+    "run_scenario",
+    "ScenarioResult",
+]

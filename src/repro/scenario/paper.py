@@ -1,0 +1,462 @@
+"""Builds the synthetic "paper world" plan.
+
+One function, :func:`build_paper_plan`, turns a
+:class:`~repro.scenario.config.ScenarioConfig` into a fully materialised
+:class:`~repro.scenario.plan.ScenarioPlan`: members with import policies,
+customer (victim-origin) ASes with PeeringDB-style types, victim hosts
+with client/server personalities, the shared amplifier pool, and one
+:class:`~repro.scenario.plan.PlannedEvent` per RTBH episode with its
+blackhole windows and ground-truth attack parameters.
+
+Address plan (all disjoint):
+
+====================  =============================
+members' own space    ``70.0.0.0/8`` (/20 each)
+victim-origin blocks  ``80.0.0.0/8`` (/22 each)
+amplifiers            ``11.0.0.0/8``
+carpet sources        ``12.0.0.0/8``
+remote legit hosts    ``13.0.0.0/8``
+spoofed SYN sources   ``100.64.0.0/10``
+scanners              ``9.0.0.0/24``
+====================  =============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.ixp.peeringdb import OrgType
+from repro.mitigation.controller import (
+    BlackholeWindow,
+    RTBHControllerConfig,
+    ddos_reaction_windows,
+    manual_window,
+    squatting_window,
+    zombie_window,
+)
+from repro.net.ip import IPv4Prefix
+from repro.net.ports import AMPLIFICATION_PROTOCOLS, AmplificationProtocol
+from repro.scenario.config import DAY, ScenarioConfig
+from repro.scenario.plan import (
+    AttackVector,
+    EventCategory,
+    HostRole,
+    MemberPlan,
+    OriginASPlan,
+    PlannedEvent,
+    ScenarioPlan,
+    VictimHost,
+)
+from repro.scenario.plan import PolicyKind
+from repro.traffic.amplification import AmplifierPool
+
+MEMBER_ASN_BASE = 1_000
+ORIGIN_ASN_BASE = 20_000
+AMPLIFIER_ASN_BASE = 40_000
+REMOTE_ASN_BASE = 55_000
+SCANNER_ASN_BASE = 58_000
+
+MEMBER_SPACE_BASE = 0x46000000   # 70.0.0.0
+ORIGIN_SPACE_BASE = 0x50000000   # 80.0.0.0
+SCANNER_IP_BASE = 0x09000000     # 9.0.0.0
+
+#: per-event popularity of amplification protocols; cLDAP, NTP and DNS are
+#: "the most common amplifying protocols per event" (§5.4)
+_PROTOCOL_WEIGHTS: Dict[str, float] = {
+    "cLDAP": 0.24, "NTP": 0.22, "DNS": 0.19, "Memcached": 0.06,
+    "CharGEN": 0.05, "SSDP": 0.05, "SNMPv2": 0.04, "RIPv1": 0.03,
+    "TFTP": 0.03, "QOTD": 0.02, "NetBIOS": 0.02, "SIP": 0.02,
+    "BitTorrent": 0.01, "Game-3478": 0.005, "Game-3659": 0.005,
+    "Game-27005": 0.005, "Game-28960": 0.005,
+}
+
+#: server service-port menus (protocol, port); one is drawn per server
+_SERVER_MENUS: Tuple[Tuple[Tuple[int, int], ...], ...] = (
+    ((6, 443), (6, 80)),
+    ((6, 80), (6, 443), (6, 22)),
+    ((17, 53), (6, 53)),
+    ((6, 25), (6, 993)),
+    ((17, 25565), (6, 25565)),
+    ((6, 3306), (6, 22)),
+)
+
+
+def build_paper_plan(config: ScenarioConfig) -> ScenarioPlan:
+    """Materialise the paper scenario for ``config`` (deterministic in
+    ``config.seed``)."""
+    rng = np.random.default_rng(config.seed)
+    members = _plan_members(rng, config)
+    announcers = [m.asn for m in members if m.is_announcer]
+    origins = _plan_origins(rng, config, announcers)
+    victims = _plan_victims(rng, config, origins)
+    pool = _plan_amplifier_pool(rng, config, members)
+    remote_peers = _plan_remote_peers(rng, config, members)
+    scanners = _plan_scanners(rng, config, members)
+    events = _plan_events(rng, config, victims, origins, members)
+    return ScenarioPlan(
+        duration=config.duration,
+        members=members,
+        origin_asns=origins,
+        victims=victims,
+        events=events,
+        amplifier_pool=pool,
+        remote_peers=remote_peers,
+        scanners=scanners,
+    )
+
+
+# ---------------------------------------------------------------- population
+
+
+def _plan_members(rng: np.random.Generator, config: ScenarioConfig) -> List[MemberPlan]:
+    mix = config.policy_mix
+    # Stratified policy census: exact shares (largest remainder), shuffled.
+    # A per-member independent draw would make the traffic-weighted /32
+    # drop rate swing wildly at small member counts.
+    shares = [
+        (PolicyKind.WHITELIST_32, mix.whitelist_32),
+        (PolicyKind.DEFAULT_LE24, mix.default_le24),
+        (PolicyKind.PARTIAL, mix.partial),
+        (PolicyKind.FULL_BLACKHOLE, mix.full_blackhole),
+        (PolicyKind.NO_BLACKHOLE, mix.no_blackhole),
+    ]
+    counts = [int(share * config.num_members) for _, share in shares]
+    remainders = [share * config.num_members - c
+                  for (_, share), c in zip(shares, counts)]
+    for idx in sorted(range(len(shares)), key=lambda i: -remainders[i]):
+        if sum(counts) >= config.num_members:
+            break
+        counts[idx] += 1
+    policy_census = [kind for (kind, _), c in zip(shares, counts)
+                     for _ in range(c)]
+    rng.shuffle(policy_census)
+
+    org_types = [OrgType.NSP, OrgType.CABLE_DSL_ISP, OrgType.CONTENT,
+                 OrgType.ENTERPRISE, OrgType.EDUCATIONAL]
+    org_weights = np.array([0.35, 0.25, 0.20, 0.10, 0.10])
+    announcer_set = set(
+        rng.choice(config.num_members, size=config.num_announcer_members,
+                   replace=False).tolist()
+    )
+    members = []
+    for i in range(config.num_members):
+        policy = policy_census[i]
+        org = org_types[int(rng.choice(len(org_types), p=org_weights))]
+        members.append(MemberPlan(
+            asn=MEMBER_ASN_BASE + i,
+            policy=policy,
+            own_prefix=IPv4Prefix(MEMBER_SPACE_BASE + i * 4096, 20),
+            org_type=org,
+            is_announcer=i in announcer_set,
+        ))
+    return members
+
+
+def _plan_origins(rng: np.random.Generator, config: ScenarioConfig,
+                  announcers: Sequence[int]) -> List[OriginASPlan]:
+    """Customer ASes: typed so the Table 4 host/AS-type join comes out.
+
+    Client-heavy ASes are predominantly Cable/DSL/ISP, server-heavy ones
+    Content; a share has no PeeringDB entry at all (``UNKNOWN``).
+    """
+    if not announcers:
+        raise ScenarioError("no announcer members planned")
+    client_types = [OrgType.CABLE_DSL_ISP, OrgType.NSP, OrgType.CONTENT,
+                    OrgType.ENTERPRISE, OrgType.UNKNOWN]
+    client_w = np.array([0.60, 0.14, 0.02, 0.01, 0.23])
+    server_types = [OrgType.CONTENT, OrgType.CABLE_DSL_ISP, OrgType.NSP,
+                    OrgType.ENTERPRISE, OrgType.UNKNOWN]
+    server_w = np.array([0.34, 0.14, 0.13, 0.01, 0.38])
+    origins = []
+    for j in range(config.num_victim_origin_asns):
+        # first 60% lean client, next 25% lean server, rest mixed/dark
+        frac = j / config.num_victim_origin_asns
+        if frac < 0.60:
+            org = client_types[int(rng.choice(len(client_types), p=client_w))]
+        elif frac < 0.85:
+            org = server_types[int(rng.choice(len(server_types), p=server_w))]
+        else:
+            org = OrgType.UNKNOWN
+        origins.append(OriginASPlan(
+            asn=ORIGIN_ASN_BASE + j,
+            announcer_asn=int(rng.choice(announcers)),
+            block=IPv4Prefix(ORIGIN_SPACE_BASE + j * 1024, 22),
+            org_type=org,
+        ))
+    return origins
+
+
+def _plan_victims(rng: np.random.Generator, config: ScenarioConfig,
+                  origins: Sequence[OriginASPlan]) -> List[VictimHost]:
+    n_origins = len(origins)
+    client_zone = max(1, int(0.60 * n_origins))
+    server_zone = max(client_zone + 1, int(0.85 * n_origins))
+    with_traffic = config.victims_with_traffic_fraction
+    client_share = config.client_share_of_traffic_victims
+    victims = []
+    used_offsets: Dict[int, set] = {}
+    for _ in range(config.num_victim_hosts):
+        draw = rng.random()
+        if draw < with_traffic * client_share:
+            role = HostRole.CLIENT
+            origin = origins[int(rng.integers(0, client_zone))]
+        elif draw < with_traffic:
+            role = HostRole.SERVER
+            origin = origins[int(rng.integers(client_zone, server_zone))]
+        else:
+            role = HostRole.SILENT
+            origin = origins[int(rng.integers(0, n_origins))]
+        taken = used_offsets.setdefault(origin.asn, set())
+        offset = int(rng.integers(4, origin.block.num_addresses - 4))
+        while offset in taken:
+            offset = int(rng.integers(4, origin.block.num_addresses - 4))
+        taken.add(offset)
+        services: Tuple[Tuple[int, int, float], ...] = ()
+        if role is HostRole.SERVER:
+            menu = _SERVER_MENUS[int(rng.integers(len(_SERVER_MENUS)))]
+            services = tuple(
+                (proto, port, 10.0 if k == 0 else 1.0)
+                for k, (proto, port) in enumerate(menu)
+            )
+        victims.append(VictimHost(
+            ip=origin.block.network_int + offset,
+            origin_asn=origin.asn,
+            announcer_asn=origin.announcer_asn,
+            role=role,
+            services=services,
+        ))
+    return victims
+
+
+def _plan_amplifier_pool(rng: np.random.Generator, config: ScenarioConfig,
+                         members: Sequence[MemberPlan]) -> AmplifierPool:
+    # NSP members carry disproportionally much reflected traffic (Fig. 8):
+    # weight them 4× when assigning handover ASes.
+    weights = np.array([4.0 if m.org_type is OrgType.NSP else 1.0 for m in members])
+    weights /= weights.sum()
+    ingress_choices = rng.choice(
+        [m.asn for m in members], size=config.num_amplifier_origin_asns,
+        p=weights,
+    )
+    origin_asns = [AMPLIFIER_ASN_BASE + k
+                   for k in range(config.num_amplifier_origin_asns)]
+    # AmplifierPool.build picks one ingress per origin AS internally from
+    # the list we pass; give it the pre-weighted draw to respect NSP skew.
+    # Protocols go in popularity order so the broad-coverage top ASes host
+    # reflectors for the most-attacked vectors.
+    by_name = {p.name: p for p in AMPLIFICATION_PROTOCOLS}
+    popular = [by_name[name] for name in
+               sorted(_PROTOCOL_WEIGHTS, key=_PROTOCOL_WEIGHTS.get, reverse=True)]
+    return AmplifierPool.build(
+        rng,
+        origin_asns=origin_asns,
+        ingress_asns=ingress_choices.tolist(),
+        amplifiers_per_asn=config.amplifiers_per_origin_asn,
+        protocols=popular,
+    )
+
+
+def _plan_remote_peers(rng: np.random.Generator, config: ScenarioConfig,
+                       members: Sequence[MemberPlan]) -> List[Tuple[int, int]]:
+    member_asns = [m.asn for m in members]
+    return [
+        (int(rng.choice(member_asns)), REMOTE_ASN_BASE + r)
+        for r in range(config.num_remote_peers)
+    ]
+
+
+def _plan_scanners(rng: np.random.Generator, config: ScenarioConfig,
+                   members: Sequence[MemberPlan]) -> List[Tuple[int, int, int]]:
+    member_asns = [m.asn for m in members]
+    return [
+        (SCANNER_IP_BASE + s, int(rng.choice(member_asns)), SCANNER_ASN_BASE + s)
+        for s in range(config.num_scanners)
+    ]
+
+
+# ------------------------------------------------------------------- events
+
+
+def _pick_protocols(rng: np.random.Generator,
+                    config: ScenarioConfig) -> Tuple[AmplificationProtocol, ...]:
+    counts, weights = zip(*config.vector_mix.protocols_per_attack)
+    k = int(rng.choice(counts, p=np.array(weights) / sum(weights)))
+    by_name = {p.name: p for p in AMPLIFICATION_PROTOCOLS}
+    names = list(_PROTOCOL_WEIGHTS)
+    w = np.array([_PROTOCOL_WEIGHTS[n] for n in names])
+    w /= w.sum()
+    picks = rng.choice(len(names), size=min(k, len(names)), replace=False, p=w)
+    return tuple(by_name[names[i]] for i in picks)
+
+
+def _lognormal(rng: np.random.Generator, median: float, sigma: float,
+               cap: float) -> float:
+    return float(min(cap, rng.lognormal(np.log(median), sigma)))
+
+
+def _event_prefix(rng: np.random.Generator, config: ScenarioConfig,
+                  victim: VictimHost) -> IPv4Prefix:
+    lengths, weights = zip(*config.prefix_length_weights)
+    length = int(rng.choice(lengths, p=np.array(weights) / sum(weights)))
+    return IPv4Prefix(victim.ip, length)
+
+
+def _plan_events(rng: np.random.Generator, config: ScenarioConfig,
+                 victims: Sequence[VictimHost], origins: Sequence[OriginASPlan],
+                 members: Sequence[MemberPlan]) -> List[PlannedEvent]:
+    traffic_victims = [v for v in victims if v.role is not HostRole.SILENT]
+    silent_victims = [v for v in victims if v.role is HostRole.SILENT]
+    if not traffic_victims or not silent_victims:
+        raise ScenarioError("victim population lacks traffic or silent hosts")
+
+    mix = config.event_mix
+    n = config.num_events
+    n_visible = round(n * mix.ddos_visible)
+    n_remote = round(n * mix.ddos_remote)
+    n_silent = round(n * mix.silent)
+    n_zombie = round(n * mix.zombie)
+    n_near = max(0, n - n_visible - n_remote - n_silent - n_zombie)
+    n_bilateral = round(n_visible * config.bilateral_event_fraction)
+
+    events: List[PlannedEvent] = []
+    eid = 0
+
+    # --- visible DDoS (and bilateral twins) --------------------------------
+    for kind in ([EventCategory.DDOS_VISIBLE] * n_visible
+                 + [EventCategory.BILATERAL] * n_bilateral):
+        victim = traffic_victims[int(rng.integers(len(traffic_victims)))]
+        attack_start = float(rng.uniform(1.5 * DAY, config.duration - 0.5 * DAY))
+        attack_dur = _lognormal(rng, config.attack_duration_median,
+                                config.attack_duration_sigma,
+                                config.attack_duration_cap)
+        attack_end = min(attack_start + attack_dur, config.duration - 600.0)
+        if attack_end <= attack_start:
+            attack_end = attack_start + 300.0
+        slow = rng.random() < 0.2
+        controller = RTBHControllerConfig(
+            reaction_delay=(600.0, 3_600.0) if slow else (30.0, 600.0),
+        )
+        windows = tuple(ddos_reaction_windows(rng, attack_start, attack_end,
+                                              controller))
+        vector_draw = rng.random()
+        vm = config.vector_mix
+        if vector_draw < vm.amplification:
+            vector, protocols = AttackVector.AMPLIFICATION, _pick_protocols(rng, config)
+        elif vector_draw < vm.amplification + vm.carpet:
+            vector, protocols = AttackVector.CARPET, ()
+        else:
+            vector, protocols = AttackVector.SYN_FLOOD, ()
+        events.append(PlannedEvent(
+            event_id=eid, category=kind,
+            prefix=_event_prefix(rng, config, victim),
+            announcer_asn=victim.announcer_asn, origin_asn=victim.origin_asn,
+            windows=windows, victim_ip=victim.ip, vector=vector,
+            protocols=protocols, attack_start=attack_start,
+            attack_end=attack_end,
+            attack_pps=_lognormal(rng, config.attack_pps_median,
+                                  config.attack_pps_sigma, config.attack_pps_cap),
+        ))
+        eid += 1
+
+    # --- remote DDoS: blackholed, victim has traffic, no anomaly here ------
+    for _ in range(n_remote):
+        victim = traffic_victims[int(rng.integers(len(traffic_victims)))]
+        start = float(rng.uniform(1.5 * DAY, config.duration - 0.5 * DAY))
+        hidden_end = start + _lognormal(rng, config.attack_duration_median,
+                                        config.attack_duration_sigma,
+                                        config.attack_duration_cap)
+        hidden_end = min(hidden_end, config.duration - 600.0)
+        if hidden_end <= start:
+            hidden_end = start + 300.0
+        windows = tuple(ddos_reaction_windows(rng, start, hidden_end))
+        events.append(PlannedEvent(
+            event_id=eid, category=EventCategory.DDOS_REMOTE,
+            prefix=_event_prefix(rng, config, victim),
+            announcer_asn=victim.announcer_asn, origin_asn=victim.origin_asn,
+            windows=windows, victim_ip=victim.ip,
+        ))
+        eid += 1
+
+    # --- silent & near-silent ------------------------------------------------
+    for kind, count in ((EventCategory.SILENT, n_silent),
+                        (EventCategory.NEAR_SILENT, n_near)):
+        for _ in range(count):
+            victim = silent_victims[int(rng.integers(len(silent_victims)))]
+            start = float(rng.uniform(0.2 * DAY, config.duration - 0.5 * DAY))
+            if rng.random() < 0.5:
+                hidden_end = start + _lognormal(rng, config.attack_duration_median,
+                                                config.attack_duration_sigma,
+                                                config.attack_duration_cap)
+                hidden_end = min(hidden_end, config.duration - 60.0)
+                if hidden_end <= start:
+                    hidden_end = start + 300.0
+                windows = tuple(ddos_reaction_windows(rng, start, hidden_end))
+            else:
+                windows = (manual_window(rng, start),)
+            events.append(PlannedEvent(
+                event_id=eid, category=kind,
+                prefix=_event_prefix(rng, config, victim),
+                announcer_asn=victim.announcer_asn, origin_asn=victim.origin_asn,
+                windows=windows, victim_ip=victim.ip,
+            ))
+            eid += 1
+
+    # --- zombies ---------------------------------------------------------------
+    for _ in range(n_zombie):
+        victim = silent_victims[int(rng.integers(len(silent_victims)))]
+        start = float(rng.uniform(0.0, 0.9 * config.duration))
+        events.append(PlannedEvent(
+            event_id=eid, category=EventCategory.ZOMBIE,
+            prefix=victim.host_prefix,
+            announcer_asn=victim.announcer_asn, origin_asn=victim.origin_asn,
+            windows=(zombie_window(start),), victim_ip=victim.ip,
+        ))
+        eid += 1
+
+    # --- squatting protection ---------------------------------------------------
+    squat_origins = list(origins[-config.squatting_asns:])
+    for s in range(config.squatting_prefixes):
+        origin = squat_origins[s % len(squat_origins)]
+        length = int(rng.choice([22, 23, 24], p=[0.2, 0.2, 0.6]))
+        prefix = IPv4Prefix(origin.block.network_int, length)
+        start = float(rng.uniform(0.0, 0.3 * config.duration))
+        window = squatting_window(rng, start)
+        if window.withdraw_time is not None and window.withdraw_time > config.duration:
+            window = BlackholeWindow(window.announce_time, None)
+        events.append(PlannedEvent(
+            event_id=eid, category=EventCategory.SQUATTING,
+            prefix=prefix, announcer_asn=origin.announcer_asn,
+            origin_asn=origin.asn, windows=(window,),
+        ))
+        eid += 1
+
+    # --- targeted-announcement experiment (shapes Fig. 4) ----------------------
+    member_asns = [m.asn for m in members]
+    experimenting = sorted({origins[0].announcer_asn, origins[1 % len(origins)].announcer_asn})
+    exp_origins = [o for o in origins if o.announcer_asn in experimenting] or origins[:1]
+    for _ in range(config.targeted_experiment_events):
+        origin = exp_origins[int(rng.integers(len(exp_origins)))]
+        host_ip = origin.block.network_int + int(rng.integers(4, 1020))
+        start = float(rng.uniform(3.0 * DAY, min(20.0 * DAY, config.duration - DAY)))
+        hold = float(rng.uniform(2.0 * DAY, 10.0 * DAY))
+        end = min(start + hold, config.duration)
+        hidden = rng.random()  # fraction of peers excluded: 20%–70%
+        exclude = rng.choice(member_asns,
+                             size=int(len(member_asns) * (0.2 + 0.5 * hidden)),
+                             replace=False)
+        targets = tuple(sorted(set(member_asns) - set(exclude.tolist())
+                               - {origin.announcer_asn}))
+        events.append(PlannedEvent(
+            event_id=eid, category=EventCategory.TARGETED_EXPERIMENT,
+            prefix=IPv4Prefix(host_ip, 32),
+            announcer_asn=origin.announcer_asn, origin_asn=origin.asn,
+            windows=(BlackholeWindow(start, end),), victim_ip=host_ip,
+            targets=targets,
+        ))
+        eid += 1
+
+    events.sort(key=lambda e: e.first_announce)
+    return events

@@ -1,0 +1,22 @@
+"""Statistical building blocks used by the analysis pipeline: exponentially
+weighted moving statistics, EWMA-based anomaly detection, empirical CDFs,
+the control/data-plane time-offset maximum-likelihood estimator, and the
+RadViz projection.
+"""
+
+from repro.stats.ewma import ewm_mean, ewm_mean_std
+from repro.stats.anomaly import AnomalyConfig, EWMAAnomalyDetector
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.mle import OffsetEstimate, estimate_time_offset
+from repro.stats.radviz import radviz_projection
+
+__all__ = [
+    "ewm_mean",
+    "ewm_mean_std",
+    "EWMAAnomalyDetector",
+    "AnomalyConfig",
+    "EmpiricalCDF",
+    "estimate_time_offset",
+    "OffsetEstimate",
+    "radviz_projection",
+]

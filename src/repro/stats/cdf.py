@@ -1,0 +1,98 @@
+"""Empirical cumulative distribution functions.
+
+Every CDF figure of the paper (Figs 6, 14, 15, 18) is rendered from this
+class: it stores the sorted sample, answers point evaluations, quantiles,
+and emits plot-ready ``(x, F(x))`` series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """The right-continuous ECDF of a 1-D sample."""
+
+    def __init__(self, samples: Sequence[float] | np.ndarray):
+        data = np.asarray(samples, dtype=np.float64)
+        if data.ndim != 1:
+            raise ValueError(f"expected 1-D samples, got shape {data.shape}")
+        if len(data) == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        if np.isnan(data).any():
+            raise ValueError("samples contain NaN")
+        self._sorted = np.sort(data)
+
+    @property
+    def n(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+    def evaluate(self, x: float | np.ndarray) -> float | np.ndarray:
+        """F(x) = P[X <= x]."""
+        result = np.searchsorted(self._sorted, np.asarray(x, dtype=np.float64),
+                                 side="right") / self.n
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(result)
+        return result
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        return self.evaluate(x)
+
+    def quantile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Inverse CDF (type-1 / lower quantile)."""
+        q_arr = np.asarray(q, dtype=np.float64)
+        if ((q_arr < 0) | (q_arr > 1)).any():
+            raise ValueError("quantiles must be in [0, 1]")
+        idx = np.ceil(q_arr * self.n).astype(int) - 1
+        idx = np.clip(idx, 0, self.n - 1)
+        result = self._sorted[idx]
+        if np.isscalar(q) or np.ndim(q) == 0:
+            return float(result)
+        return result
+
+    @property
+    def median(self) -> float:
+        return float(self.quantile(0.5))
+
+    def quartiles(self) -> tuple[float, float, float]:
+        """(Q1, median, Q3)."""
+        q = self.quantile(np.array([0.25, 0.5, 0.75]))
+        return float(q[0]), float(q[1]), float(q[2])
+
+    def series(self, points: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Plot-ready ``(x, F(x))`` arrays.
+
+        Without ``points``, uses every distinct sample value; with it, an
+        even quantile grid of the requested size.
+        """
+        if points is None:
+            x = np.unique(self._sorted)
+        else:
+            if points < 2:
+                raise ValueError("need at least 2 points")
+            x = self.quantile(np.linspace(0.0, 1.0, points))
+            x = np.asarray(x)
+        return x, np.asarray(self.evaluate(x))
+
+    def describe(self) -> dict[str, float]:
+        """Summary statistics used in the benchmark reports."""
+        q1, med, q3 = self.quartiles()
+        return {
+            "n": float(self.n),
+            "min": self.min,
+            "q1": q1,
+            "median": med,
+            "q3": q3,
+            "max": self.max,
+            "mean": float(self._sorted.mean()),
+        }

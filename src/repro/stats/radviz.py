@@ -1,0 +1,48 @@
+"""RadViz projection (Hoffman et al., as used in Fig. 16).
+
+RadViz places one anchor per feature evenly around the unit circle and
+attaches each data point to every anchor with a spring whose stiffness is
+the (normalised) feature value; the point settles at the stiffness-weighted
+mean of the anchor positions. Points therefore land near the anchors of
+the features on which they score high.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def radviz_anchors(num_features: int) -> np.ndarray:
+    """Anchor coordinates: ``(num_features, 2)`` on the unit circle,
+    starting at angle 0 and proceeding counter-clockwise."""
+    if num_features < 2:
+        raise ValueError("RadViz needs at least 2 features")
+    angles = 2.0 * np.pi * np.arange(num_features) / num_features
+    return np.column_stack([np.cos(angles), np.sin(angles)])
+
+
+def radviz_projection(values: np.ndarray,
+                      normalizer: np.ndarray | float | None = None) -> np.ndarray:
+    """Project an ``(n, d)`` feature matrix into RadViz 2-D coordinates.
+
+    ``normalizer`` divides the raw values first (the paper normalises port
+    counts by the maximum port number); values are then clipped to
+    ``[0, 1]``. Rows whose features are all zero have no springs and are
+    placed at the origin.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"expected (n, d) matrix, got shape {values.shape}")
+    if (values < 0).any():
+        raise ValueError("RadViz features must be non-negative")
+    if normalizer is not None:
+        values = values / normalizer
+    values = np.clip(values, 0.0, 1.0)
+
+    anchors = radviz_anchors(values.shape[1])
+    weights = values.sum(axis=1, keepdims=True)
+    coords = values @ anchors
+    nonzero = weights[:, 0] > 0
+    coords[nonzero] /= weights[nonzero]
+    coords[~nonzero] = 0.0
+    return coords

@@ -1,0 +1,22 @@
+"""Independent attack-observation vantage points.
+
+§7.3 compares the IXP-centric methodology against Jonker et al.'s
+distributed view built from an Internet telescope (backscatter of spoofed
+attacks) and amplification honeypots. This package simulates those two
+vantage points over the same synthetic world, so the cross-validation the
+paper can only discuss becomes an executable experiment.
+"""
+
+from repro.telescope.observatory import (
+    ExternalObservation,
+    ObservationSource,
+    ObservatoryConfig,
+    simulate_external_observations,
+)
+
+__all__ = [
+    "ExternalObservation",
+    "ObservationSource",
+    "ObservatoryConfig",
+    "simulate_external_observations",
+]

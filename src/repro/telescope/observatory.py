@@ -1,0 +1,145 @@
+"""Telescope and honeypot observations of the scenario's attacks.
+
+* An **Internet telescope** (network of dark addresses) sees the
+  *backscatter* of spoofed attacks: a SYN-flooded victim answers
+  SYN-ACKs towards the spoofed sources, a fraction of which fall into the
+  telescope. Reflection attacks spoof only the victim's address, so the
+  telescope misses them; direct unspoofed floods are invisible too —
+  exactly the blind spot Jonker et al. acknowledge (§7.3).
+* **Amplification honeypots** pose as reflectors; an attack that sprays
+  its requests widely enough hits one and is logged with its protocol.
+  They see reflection attacks and nothing else.
+
+Detection is probabilistic per attack, with probabilities derived from
+the vantage point's coverage, and observations carry their own clock
+(jittered around the attack interval) — external feeds are never
+perfectly aligned with IXP time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+if TYPE_CHECKING:  # imported lazily at runtime (scenario imports us back)
+    from repro.scenario.plan import ScenarioPlan
+
+
+class ObservationSource(str, Enum):
+    TELESCOPE = "telescope"
+    HONEYPOT = "honeypot"
+
+
+@dataclass(frozen=True)
+class ExternalObservation:
+    """One attack sighting at an external vantage point."""
+
+    victim_ip: int
+    start: float
+    end: float
+    source: ObservationSource
+    #: UDP amplification port for honeypot sightings, None for backscatter
+    protocol_port: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ObservatoryConfig:
+    """Coverage of the two vantage points.
+
+    ``telescope_coverage`` is the share of the spoofed-source space the
+    dark addresses occupy (a /16 inside 100.64/10 ≈ 1.5%, but backscatter
+    volume makes detection of any sizeable flood near-certain, so this is
+    a per-attack detection probability). ``honeypot_detection`` is the
+    chance an amplification attack rents at least one honeypot reflector.
+    """
+
+    telescope_detection: float = 0.85
+    honeypot_detection: float = 0.55
+    carpet_detection: float = 0.10   # direct, mostly unspoofed: blind spot
+    #: external feeds also see attacks whose traffic never crosses the IXP
+    remote_attack_detection: float = 0.45
+    clock_jitter: float = 120.0
+
+    def __post_init__(self) -> None:
+        for name in ("telescope_detection", "honeypot_detection",
+                     "carpet_detection", "remote_attack_detection"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ScenarioError(f"{name} must be a probability: {value}")
+        if self.clock_jitter < 0:
+            raise ScenarioError("clock_jitter must be >= 0")
+
+
+def simulate_external_observations(
+    plan: ScenarioPlan,
+    rng: np.random.Generator,
+    config: ObservatoryConfig | None = None,
+) -> List[ExternalObservation]:
+    """Generate the external feeds for every attack in the plan.
+
+    Visible (and bilateral) attacks are observed according to their
+    vector; *remote* DDoS events — whose traffic never crosses the IXP —
+    are observed by the distributed vantage with
+    ``remote_attack_detection``, which is precisely what makes the
+    external view complementary (§7.3).
+    """
+    from repro.scenario.plan import AttackVector, EventCategory
+
+    config = config or ObservatoryConfig()
+    observations: List[ExternalObservation] = []
+
+    def jitter() -> float:
+        return float(rng.normal(0.0, config.clock_jitter / 2.0))
+
+    for event in plan.events:
+        if event.victim_ip is None:
+            continue
+        if event.category in (EventCategory.DDOS_VISIBLE, EventCategory.BILATERAL):
+            assert event.attack_start is not None and event.attack_end is not None
+            if event.vector is AttackVector.SYN_FLOOD:
+                if rng.random() < config.telescope_detection:
+                    observations.append(ExternalObservation(
+                        victim_ip=event.victim_ip,
+                        start=event.attack_start + jitter(),
+                        end=event.attack_end + jitter(),
+                        source=ObservationSource.TELESCOPE,
+                    ))
+            elif event.vector is AttackVector.AMPLIFICATION:
+                if rng.random() < config.honeypot_detection and event.protocols:
+                    port = event.protocols[int(rng.integers(len(event.protocols)))].port
+                    observations.append(ExternalObservation(
+                        victim_ip=event.victim_ip,
+                        start=event.attack_start + jitter(),
+                        end=event.attack_end + jitter(),
+                        source=ObservationSource.HONEYPOT,
+                        protocol_port=port,
+                    ))
+            elif event.vector is AttackVector.CARPET:
+                if rng.random() < config.carpet_detection:
+                    observations.append(ExternalObservation(
+                        victim_ip=event.victim_ip,
+                        start=event.attack_start + jitter(),
+                        end=event.attack_end + jitter(),
+                        source=ObservationSource.TELESCOPE,
+                    ))
+        elif event.category is EventCategory.DDOS_REMOTE:
+            # the attack is real, it just does not cross this IXP
+            if rng.random() < config.remote_attack_detection:
+                start = event.first_announce - float(rng.uniform(60.0, 900.0))
+                source = (ObservationSource.HONEYPOT if rng.random() < 0.6
+                          else ObservationSource.TELESCOPE)
+                observations.append(ExternalObservation(
+                    victim_ip=event.victim_ip,
+                    start=start + jitter(),
+                    end=start + float(rng.uniform(600.0, 7_200.0)),
+                    source=source,
+                    protocol_port=(123 if source is ObservationSource.HONEYPOT
+                                   else None),
+                ))
+    observations.sort(key=lambda o: o.start)
+    return observations

@@ -1,0 +1,43 @@
+"""Synthetic traffic generators.
+
+Each generator emits :class:`~repro.dataplane.flow.FlowSpec` aggregates for
+one class of traffic the paper observes at the IXP: UDP amplification
+attacks reflected off a skewed amplifier population, TCP SYN floods,
+carpet/random-port attacks, diurnal legitimate client/server traffic, and
+background scanning.
+"""
+
+from repro.traffic.diurnal import DiurnalProfile
+from repro.traffic.amplification import (
+    Amplifier,
+    AmplifierPool,
+    AmplificationAttackConfig,
+    generate_amplification_flows,
+)
+from repro.traffic.synflood import SynFloodConfig, generate_syn_flood_flows
+from repro.traffic.carpet import CarpetAttackConfig, generate_carpet_flows
+from repro.traffic.legit import (
+    ClientProfile,
+    ServerProfile,
+    generate_client_traffic,
+    generate_server_traffic,
+)
+from repro.traffic.scan import ScanConfig, generate_scan_flows
+
+__all__ = [
+    "DiurnalProfile",
+    "Amplifier",
+    "AmplifierPool",
+    "AmplificationAttackConfig",
+    "generate_amplification_flows",
+    "SynFloodConfig",
+    "generate_syn_flood_flows",
+    "CarpetAttackConfig",
+    "generate_carpet_flows",
+    "ServerProfile",
+    "ClientProfile",
+    "generate_server_traffic",
+    "generate_client_traffic",
+    "ScanConfig",
+    "generate_scan_flows",
+]

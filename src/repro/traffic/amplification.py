@@ -1,0 +1,187 @@
+"""UDP amplification (reflection) attack traffic.
+
+A fixed population of reflectors — each speaking one amplification
+protocol, hosted in an *origin AS* and entering the IXP through a
+*handover AS* — is shared by all attacks of a scenario. Per-AS selection
+weights are Zipf-skewed so a few ASes participate in a large share of all
+attacks while most appear rarely, reproducing the participation CDF of
+Fig. 15 (top origin AS in ~60% of events).
+
+Reflected packets arrive at the victim with the amplification protocol as
+the UDP *source* port (the reflector answers from its service port) and
+the spoofed request's source port as the destination port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dataplane.flow import FlowLabel, FlowSpec
+from repro.errors import ScenarioError
+from repro.net.ports import AMPLIFICATION_PROTOCOLS, AmplificationProtocol
+
+
+@dataclass(frozen=True)
+class Amplifier:
+    """One reflector host."""
+
+    ip: int
+    origin_asn: int
+    ingress_asn: int
+    protocol: AmplificationProtocol
+
+
+@dataclass
+class AmplifierPool:
+    """The scenario-wide reflector population."""
+
+    amplifiers: List[Amplifier]
+    #: per-amplifier selection weight (already normalised)
+    weights: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        rng: np.random.Generator,
+        origin_asns: Sequence[int],
+        ingress_asns: Sequence[int],
+        amplifiers_per_asn: int = 10,
+        protocols: Sequence[AmplificationProtocol] | None = None,
+        zipf_exponent: float = 1.3,
+        ip_space_start: int = 0x0B000000,  # 11.0.0.0, clear of scenario victims
+        broad_coverage_ranks: int = 3,
+    ) -> "AmplifierPool":
+        """Create reflectors spread over ``origin_asns``.
+
+        Each origin AS hosts ``amplifiers_per_asn`` reflectors and is
+        reached through a fixed, randomly chosen handover AS. AS-level
+        Zipf weights make participation skewed across attacks.
+
+        The first ``broad_coverage_ranks`` ASes additionally host one
+        reflector per of the first six protocols in ``protocols`` — big
+        abused hosters answer on every popular vector, which is what puts
+        the same AS into the majority of attacks (Fig. 15's top AS).
+        """
+        if not origin_asns or not ingress_asns:
+            raise ScenarioError("need at least one origin and one ingress AS")
+        if zipf_exponent <= 0:
+            raise ScenarioError(f"zipf_exponent must be positive: {zipf_exponent}")
+        usable = [p for p in (protocols or AMPLIFICATION_PROTOCOLS) if p.port != 0]
+        if not usable:
+            raise ScenarioError("no usable amplification protocols")
+        ranks = np.arange(1, len(origin_asns) + 1, dtype=np.float64)
+        asn_weights = ranks ** -zipf_exponent
+        asn_weights /= asn_weights.sum()
+
+        amplifiers: List[Amplifier] = []
+        weights: List[float] = []
+        next_ip = ip_space_start
+        for rank, (asn, asn_weight) in enumerate(zip(origin_asns, asn_weights)):
+            # Heavy reflector ASes are multi-homed: each of their hosts may
+            # enter the IXP through a different member. The long tail is
+            # single-homed. Without this, one lucky policy draw at a single
+            # member would decide the fate of most attack traffic.
+            multihomed = rank < max(broad_coverage_ranks, 10)
+            ingress = int(rng.choice(ingress_asns))
+            if rank < broad_coverage_ranks:
+                asn_protocols = list(usable[:6]) or list(usable)
+                while len(asn_protocols) < amplifiers_per_asn:
+                    asn_protocols.append(usable[int(rng.integers(len(usable)))])
+            else:
+                asn_protocols = [usable[int(rng.integers(len(usable)))]
+                                 for _ in range(amplifiers_per_asn)]
+            for protocol in asn_protocols:
+                amplifiers.append(Amplifier(
+                    ip=next_ip, origin_asn=asn,
+                    ingress_asn=(int(rng.choice(ingress_asns)) if multihomed
+                                 else ingress),
+                    protocol=protocol,
+                ))
+                weights.append(asn_weight / len(asn_protocols))
+                next_ip += 1
+        w = np.asarray(weights)
+        return cls(amplifiers=amplifiers, weights=w / w.sum())
+
+    def __len__(self) -> int:
+        return len(self.amplifiers)
+
+    def select(self, rng: np.random.Generator, count: int,
+               protocols: Sequence[AmplificationProtocol]) -> List[Amplifier]:
+        """Draw ``count`` distinct reflectors speaking one of ``protocols``,
+        respecting the skewed per-AS weights."""
+        wanted = {p.port for p in protocols}
+        idx = [i for i, a in enumerate(self.amplifiers) if a.protocol.port in wanted]
+        if not idx:
+            raise ScenarioError(f"no amplifiers for ports {sorted(wanted)}")
+        sub_weights = self.weights[idx]
+        sub_weights = sub_weights / sub_weights.sum()
+        take = min(count, len(idx))
+        chosen = rng.choice(len(idx), size=take, replace=False, p=sub_weights)
+        return [self.amplifiers[idx[i]] for i in chosen]
+
+
+@dataclass(frozen=True)
+class AmplificationAttackConfig:
+    """Shape of one reflection attack."""
+
+    victim_ip: int
+    start: float
+    duration: float
+    total_pps: float
+    protocols: Sequence[AmplificationProtocol]
+    num_amplifiers: int = 300
+    mean_packet_size: float = 1100.0
+    #: destination port seen at the victim (the spoofed request's source
+    #: port); a single value models the common fixed-src-port booters.
+    victim_port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.total_pps <= 0:
+            raise ScenarioError("attack duration and pps must be positive")
+        if not self.protocols:
+            raise ScenarioError("attack needs at least one protocol")
+
+
+def generate_amplification_flows(
+    rng: np.random.Generator,
+    pool: AmplifierPool,
+    config: AmplificationAttackConfig,
+) -> List[FlowSpec]:
+    """Emit per-reflector flows for one attack.
+
+    The total rate is split over reflectors with a Dirichlet draw, so a few
+    reflectors carry much of the attack (heavy hitters) while all
+    contribute — matching honeypot observations of booter behaviour.
+    """
+    amplifiers = pool.select(rng, config.num_amplifiers, config.protocols)
+    # Heavily skewed per-reflector contributions: booter infrastructures
+    # concentrate most of an attack's volume on a few strong reflectors,
+    # which is also what makes the per-event /32 drop rate so wide (Fig. 6)
+    # — one dominant handover AS decides most of the event's fate.
+    shares = rng.dirichlet(np.full(len(amplifiers), 0.12))
+    victim_port = config.victim_port or int(rng.integers(1024, 65536))
+    flows = []
+    for amplifier, share in zip(amplifiers, shares):
+        pps = config.total_pps * float(share)
+        if pps * config.duration < 1.0:
+            continue  # sub-packet contributions: merge into nothing
+        flows.append(FlowSpec(
+            start=config.start,
+            duration=config.duration,
+            src_ip=amplifier.ip,
+            dst_ip=config.victim_ip,
+            protocol=17,
+            src_port=amplifier.protocol.port,
+            dst_port=victim_port,
+            pps=pps,
+            mean_packet_size=config.mean_packet_size,
+            ingress_asn=amplifier.ingress_asn,
+            origin_asn=amplifier.origin_asn,
+            label=FlowLabel.ATTACK,
+        ))
+    if not flows:
+        raise ScenarioError("attack rate too low: no reflector reaches 1 packet")
+    return flows

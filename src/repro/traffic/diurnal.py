@@ -1,0 +1,62 @@
+"""Diurnal modulation of traffic rates.
+
+Inter-domain traffic follows a day/night cycle; legitimate-traffic flows
+are emitted in segments whose rate follows a raised cosine with a
+configurable peak hour and peak-to-trough ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+DAY_SECONDS = 86_400.0
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A raised-cosine day/night rate profile.
+
+    ``factor(t)`` averages 1.0 over a day, peaks at ``peak_hour`` local
+    time, and bottoms out at ``trough_ratio`` times the peak.
+    """
+
+    peak_hour: float = 20.0
+    trough_ratio: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ScenarioError(f"peak_hour must be in [0, 24): {self.peak_hour}")
+        if not 0.0 < self.trough_ratio <= 1.0:
+            raise ScenarioError(f"trough_ratio must be in (0, 1]: {self.trough_ratio}")
+
+    def factor(self, time: float | np.ndarray) -> float | np.ndarray:
+        """Rate multiplier at ``time`` (simulation seconds); mean 1.0."""
+        phase = 2.0 * np.pi * ((np.asarray(time) / DAY_SECONDS) - self.peak_hour / 24.0)
+        # cosine in [trough, 1] scaled so its day-average is 1
+        raw = (1.0 + self.trough_ratio) / 2.0 + (1.0 - self.trough_ratio) / 2.0 * np.cos(phase)
+        mean = (1.0 + self.trough_ratio) / 2.0
+        result = raw / mean
+        if np.ndim(time) == 0:
+            return float(result)
+        return result
+
+    def segment_rates(self, day_start: float, base_pps: float,
+                      segments: int = 4) -> list[tuple[float, float, float]]:
+        """Chop one day into ``segments`` equal parts with modulated rates.
+
+        Returns ``(start, duration, pps)`` triples; each segment's rate is
+        the profile evaluated at the segment midpoint.
+        """
+        if segments < 1:
+            raise ScenarioError(f"segments must be >= 1: {segments}")
+        seg = DAY_SECONDS / segments
+        out = []
+        for i in range(segments):
+            start = day_start + i * seg
+            pps = base_pps * self.factor(start + seg / 2.0)
+            out.append((start, seg, pps))
+        return out

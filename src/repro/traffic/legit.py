@@ -1,0 +1,177 @@
+"""Legitimate traffic of the hosts that end up blackholed.
+
+Two host archetypes drive the client/server analysis of §6:
+
+* **servers** receive traffic on a small, stable set of service ports
+  (their daily *top port* barely varies) from clients using ephemeral
+  source ports, and answer from those service ports;
+* **clients** (e.g. DSL subscribers, often gamers) initiate connections
+  from ephemeral ports, so their *incoming* traffic targets a different
+  high port almost every day — the port-variation signal of Fig. 17.
+
+Generators emit a configurable number of flow aggregates per host per day
+in both directions, diurnally modulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataplane.flow import FlowLabel, FlowSpec
+from repro.errors import ScenarioError
+from repro.net.ports import EPHEMERAL_PORT_RANGE
+from repro.traffic.diurnal import DAY_SECONDS, DiurnalProfile
+
+#: (ingress_asn, origin_asn) of a remote network exchanging traffic with a
+#: scenario host through the IXP.
+RemotePeer = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """A server host: stable service ports, client-heavy incoming mix."""
+
+    ip: int
+    member_asn: int
+    #: (protocol, port, weight) — weight biases the daily top port
+    services: Sequence[Tuple[int, int, float]]
+    base_pps_in: float = 1.0
+    base_pps_out: float = 0.8
+    mean_size_in: float = 300.0
+    mean_size_out: float = 900.0
+
+    def __post_init__(self) -> None:
+        if not self.services:
+            raise ScenarioError("a server needs at least one service")
+        if any(w <= 0 for _, _, w in self.services):
+            raise ScenarioError("service weights must be positive")
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """A client host: ephemeral-port incoming traffic, varying daily."""
+
+    ip: int
+    member_asn: int
+    #: (protocol, remote service port) the client talks to
+    remote_services: Sequence[Tuple[int, int]] = ((6, 443), (17, 443))
+    base_pps_in: float = 1.0
+    base_pps_out: float = 0.5
+    mean_size_in: float = 900.0
+    mean_size_out: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not self.remote_services:
+            raise ScenarioError("a client needs at least one remote service")
+
+
+def _ephemeral(rng: np.random.Generator) -> int:
+    low, high = EPHEMERAL_PORT_RANGE
+    return int(rng.integers(low, high + 1))
+
+
+def generate_server_traffic(
+    rng: np.random.Generator,
+    profile: ServerProfile,
+    remote_peers: Sequence[RemotePeer],
+    day_index: int,
+    flows_per_day: int = 3,
+    diurnal: DiurnalProfile | None = None,
+    remote_ip_base: int = 0x0D000000,
+) -> List[FlowSpec]:
+    """One day of incoming + outgoing traffic for a server host.
+
+    Incoming flows hit the (weighted) service ports from ephemeral client
+    ports; outgoing flows answer from the service ports.
+    """
+    if not remote_peers:
+        raise ScenarioError("need at least one remote peer")
+    diurnal = diurnal or DiurnalProfile()
+    day_start = day_index * DAY_SECONDS
+    weights = np.array([w for _, _, w in profile.services])
+    weights = weights / weights.sum()
+    flows: List[FlowSpec] = []
+    for _ in range(flows_per_day):
+        svc_proto, svc_port, _ = profile.services[
+            int(rng.choice(len(profile.services), p=weights))
+        ]
+        ingress, origin = remote_peers[int(rng.integers(len(remote_peers)))]
+        remote_ip = int(remote_ip_base + rng.integers(0, 1 << 20))
+        client_port = _ephemeral(rng)
+        offset = float(rng.uniform(0, DAY_SECONDS / 2))
+        duration = float(rng.uniform(DAY_SECONDS / 4, DAY_SECONDS / 2))
+        start = day_start + offset
+        rate_factor = float(diurnal.factor(start + duration / 2))
+        flows.append(FlowSpec(  # incoming: client -> server service port
+            start=start, duration=duration,
+            src_ip=remote_ip, dst_ip=profile.ip,
+            protocol=svc_proto, src_port=client_port, dst_port=svc_port,
+            pps=profile.base_pps_in * rate_factor,
+            mean_packet_size=profile.mean_size_in,
+            ingress_asn=ingress, origin_asn=origin,
+            label=FlowLabel.LEGIT,
+        ))
+        flows.append(FlowSpec(  # outgoing: server service port -> client
+            start=start, duration=duration,
+            src_ip=profile.ip, dst_ip=remote_ip,
+            protocol=svc_proto, src_port=svc_port, dst_port=client_port,
+            pps=profile.base_pps_out * rate_factor,
+            mean_packet_size=profile.mean_size_out,
+            ingress_asn=profile.member_asn, origin_asn=profile.member_asn,
+            label=FlowLabel.LEGIT,
+        ))
+    return flows
+
+
+def generate_client_traffic(
+    rng: np.random.Generator,
+    profile: ClientProfile,
+    remote_peers: Sequence[RemotePeer],
+    day_index: int,
+    flows_per_day: int = 2,
+    diurnal: DiurnalProfile | None = None,
+    remote_ip_base: int = 0x0D800000,
+) -> List[FlowSpec]:
+    """One day of traffic for a client host.
+
+    The client opens connections from fresh ephemeral ports each day, so
+    the dominant *destination* port of its incoming traffic changes daily.
+    """
+    if not remote_peers:
+        raise ScenarioError("need at least one remote peer")
+    diurnal = diurnal or DiurnalProfile()
+    day_start = day_index * DAY_SECONDS
+    flows: List[FlowSpec] = []
+    for _ in range(flows_per_day):
+        proto, svc_port = profile.remote_services[
+            int(rng.integers(len(profile.remote_services)))
+        ]
+        ingress, origin = remote_peers[int(rng.integers(len(remote_peers)))]
+        remote_ip = int(remote_ip_base + rng.integers(0, 1 << 20))
+        client_port = _ephemeral(rng)
+        offset = float(rng.uniform(0, DAY_SECONDS / 2))
+        duration = float(rng.uniform(DAY_SECONDS / 8, DAY_SECONDS / 3))
+        start = day_start + offset
+        rate_factor = float(diurnal.factor(start + duration / 2))
+        flows.append(FlowSpec(  # incoming: remote service -> client's ephemeral port
+            start=start, duration=duration,
+            src_ip=remote_ip, dst_ip=profile.ip,
+            protocol=proto, src_port=svc_port, dst_port=client_port,
+            pps=profile.base_pps_in * rate_factor,
+            mean_packet_size=profile.mean_size_in,
+            ingress_asn=ingress, origin_asn=origin,
+            label=FlowLabel.LEGIT,
+        ))
+        flows.append(FlowSpec(  # outgoing: client -> remote service
+            start=start, duration=duration,
+            src_ip=profile.ip, dst_ip=remote_ip,
+            protocol=proto, src_port=client_port, dst_port=svc_port,
+            pps=profile.base_pps_out * rate_factor,
+            mean_packet_size=profile.mean_size_out,
+            ingress_asn=profile.member_asn, origin_asn=profile.member_asn,
+            label=FlowLabel.LEGIT,
+        ))
+    return flows

@@ -1,0 +1,75 @@
+"""Internet-wide scanning / background radiation.
+
+Low-rate probes hitting blackholed address space regardless of whether a
+host answers. The paper names scans as one of the biases of incoming
+traffic (§6.3, "end-hosts might receive traffic on ports although no
+application is listening") and as a trigger class RTBH was originally
+designed for (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dataplane.flow import FlowLabel, FlowSpec
+from repro.errors import ScenarioError
+
+#: Ports scanners famously sweep.
+SCANNED_PORTS: tuple[tuple[int, int], ...] = (
+    (6, 22), (6, 23), (6, 80), (6, 443), (6, 445), (6, 3389),
+    (6, 8080), (17, 53), (17, 123), (17, 5060),
+)
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """One scanner sweeping a set of targets over a time range."""
+
+    scanner_ip: int
+    ingress_asn: int
+    origin_asn: int
+    start: float
+    duration: float
+    pps_per_target: float = 0.02
+    mean_packet_size: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.pps_per_target <= 0:
+            raise ScenarioError("scan duration and rate must be positive")
+
+
+def generate_scan_flows(
+    rng: np.random.Generator,
+    config: ScanConfig,
+    target_ips: Sequence[int],
+    ports_per_target: int = 2,
+) -> List[FlowSpec]:
+    """Emit probe flows towards each target on a few scanned ports."""
+    if not target_ips:
+        raise ScenarioError("need at least one scan target")
+    if ports_per_target < 1:
+        raise ScenarioError("ports_per_target must be >= 1")
+    flows = []
+    for target in target_ips:
+        picks = rng.choice(len(SCANNED_PORTS), size=min(ports_per_target, len(SCANNED_PORTS)),
+                           replace=False)
+        for pick in picks:
+            protocol, port = SCANNED_PORTS[int(pick)]
+            flows.append(FlowSpec(
+                start=config.start,
+                duration=config.duration,
+                src_ip=config.scanner_ip,
+                dst_ip=int(target),
+                protocol=protocol,
+                src_port=int(rng.integers(32768, 65536)),
+                dst_port=port,
+                pps=config.pps_per_target,
+                mean_packet_size=config.mean_packet_size,
+                ingress_asn=config.ingress_asn,
+                origin_asn=config.origin_asn,
+                label=FlowLabel.SCAN,
+            ))
+    return flows

@@ -1,0 +1,66 @@
+"""Unit tests for BGP communities and redistribution-control resolution."""
+
+import pytest
+
+from repro.bgp.community import (
+    BLACKHOLE,
+    Community,
+    announce_to,
+    do_not_announce_to,
+    redistribution_targets,
+    suppress_all,
+)
+from repro.errors import BGPError
+
+RS = 64500
+PEERS = [100, 200, 300]
+
+
+class TestCommunity:
+    def test_blackhole_is_rfc7999(self):
+        assert BLACKHOLE == Community(65535, 666)
+
+    def test_parse_and_str_roundtrip(self):
+        assert Community.parse("64500:666") == Community(64500, 666)
+        assert str(Community(1, 2)) == "1:2"
+
+    @pytest.mark.parametrize("bad", ["100", "a:b", "1:2:3x", ""])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(BGPError):
+            Community.parse(bad)
+
+    @pytest.mark.parametrize("asn,value", [(-1, 0), (0, -1), (2**16, 0), (0, 2**16)])
+    def test_halves_must_be_u16(self, asn, value):
+        with pytest.raises(BGPError):
+            Community(asn, value)
+
+    def test_hashable_and_ordered(self):
+        assert Community(1, 2) < Community(1, 3) < Community(2, 0)
+        assert len({Community(1, 2), Community(1, 2)}) == 1
+
+
+class TestRedistributionTargets:
+    def test_default_announces_to_all(self):
+        assert redistribution_targets([], RS, PEERS) == frozenset(PEERS)
+
+    def test_blackhole_community_alone_does_not_restrict(self):
+        assert redistribution_targets([BLACKHOLE], RS, PEERS) == frozenset(PEERS)
+
+    def test_deny_single_peer(self):
+        targets = redistribution_targets([do_not_announce_to(200)], RS, PEERS)
+        assert targets == frozenset({100, 300})
+
+    def test_suppress_all_then_whitelist(self):
+        comms = [suppress_all(RS), announce_to(RS, 300)]
+        assert redistribution_targets(comms, RS, PEERS) == frozenset({300})
+
+    def test_suppress_all_without_whitelist(self):
+        assert redistribution_targets([suppress_all(RS)], RS, PEERS) == frozenset()
+
+    def test_whitelist_wins_over_deny(self):
+        comms = [do_not_announce_to(200), announce_to(RS, 200)]
+        assert redistribution_targets(comms, RS, PEERS) == frozenset(PEERS)
+
+    def test_deny_unknown_peer_is_harmless(self):
+        targets = redistribution_targets([do_not_announce_to(999)], RS, PEERS)
+        assert targets == frozenset(PEERS)

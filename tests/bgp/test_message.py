@@ -1,0 +1,48 @@
+"""Unit tests for BGP UPDATE records."""
+
+import pytest
+
+from repro.bgp import BLACKHOLE, BGPUpdate, UpdateAction
+from repro.bgp.message import announce, withdraw
+from repro.errors import BGPError
+from repro.net import IPv4Address, IPv4Prefix
+
+PFX = IPv4Prefix("203.0.113.7/32")
+NH = IPv4Address("192.0.2.66")
+
+
+class TestBGPUpdate:
+    def test_announce_helper(self):
+        upd = announce(1.0, 100, PFX, NH, communities=frozenset({BLACKHOLE}))
+        assert upd.is_announce and not upd.is_withdraw
+        assert upd.is_blackhole
+        assert upd.origin_asn == 100
+
+    def test_withdraw_helper(self):
+        upd = withdraw(2.0, 100, PFX)
+        assert upd.is_withdraw
+        assert upd.next_hop is None
+
+    def test_announce_requires_next_hop(self):
+        with pytest.raises(BGPError):
+            BGPUpdate(time=0.0, peer_asn=100, action=UpdateAction.ANNOUNCE, prefix=PFX)
+
+    def test_default_as_path_is_peer(self):
+        upd = announce(0.0, 100, PFX, NH)
+        assert upd.as_path == (100,)
+
+    def test_origin_is_rightmost_as(self):
+        upd = announce(0.0, 100, PFX, NH, as_path=(100, 200, 300))
+        assert upd.origin_asn == 300
+
+    def test_positive_peer_asn_required(self):
+        with pytest.raises(BGPError):
+            withdraw(0.0, 0, PFX)
+
+    def test_not_blackhole_without_community(self):
+        assert not announce(0.0, 100, PFX, NH).is_blackhole
+
+    def test_str_forms(self):
+        assert "+" in str(announce(0.0, 100, PFX, NH))
+        assert "-" in str(withdraw(0.0, 100, PFX))
+        assert "[BH]" in str(announce(0.0, 100, PFX, NH, communities=frozenset({BLACKHOLE})))

@@ -1,0 +1,123 @@
+"""Unit tests for member import policies."""
+
+import pytest
+
+from repro.bgp import (
+    BLACKHOLE,
+    AcceptAllPolicy,
+    BlackholeWhitelistPolicy,
+    FullBlackholePolicy,
+    MaxPrefixLengthPolicy,
+    PartialBlackholePolicy,
+    Route,
+)
+from repro.errors import PolicyError
+from repro.net import IPv4Address, IPv4Prefix
+
+NH = IPv4Address("192.0.2.66")
+
+
+def route(prefix, blackhole=False):
+    comms = frozenset({BLACKHOLE}) if blackhole else frozenset()
+    return Route(prefix=IPv4Prefix(prefix), next_hop=NH, peer_asn=100,
+                 as_path=(100,), communities=comms)
+
+
+class TestMaxPrefixLengthPolicy:
+    def test_accepts_up_to_24(self):
+        pol = MaxPrefixLengthPolicy()
+        assert pol.accepts(route("10.0.0.0/8"))
+        assert pol.accepts(route("203.0.113.0/24"))
+
+    def test_rejects_even_blackholes_beyond_24(self):
+        pol = MaxPrefixLengthPolicy()
+        assert not pol.accepts(route("203.0.113.7/32", blackhole=True))
+        assert not pol.accepts(route("203.0.113.0/25", blackhole=True))
+
+    def test_invalid_length(self):
+        with pytest.raises(PolicyError):
+            MaxPrefixLengthPolicy(40)
+
+
+class TestBlackholeWhitelistPolicy:
+    def test_host_blackhole_accepted(self):
+        pol = BlackholeWhitelistPolicy()
+        assert pol.accepts(route("203.0.113.7/32", blackhole=True))
+
+    def test_host_route_without_community_rejected(self):
+        pol = BlackholeWhitelistPolicy()
+        assert not pol.accepts(route("203.0.113.7/32"))
+
+    def test_intermediate_lengths_rejected(self):
+        pol = BlackholeWhitelistPolicy()
+        for length in range(25, 32):
+            assert not pol.accepts(route(f"203.0.113.0/{length}", blackhole=True))
+
+    def test_custom_whitelist(self):
+        pol = BlackholeWhitelistPolicy(whitelisted_lengths={28, 32})
+        assert pol.accepts(route("203.0.113.0/28", blackhole=True))
+        assert not pol.accepts(route("203.0.113.0/27", blackhole=True))
+
+    def test_short_prefixes_always_accepted(self):
+        pol = BlackholeWhitelistPolicy()
+        assert pol.accepts(route("203.0.113.0/24", blackhole=True))
+        assert pol.accepts(route("10.0.0.0/8"))
+
+    def test_invalid_whitelist(self):
+        with pytest.raises(PolicyError):
+            BlackholeWhitelistPolicy(whitelisted_lengths={33})
+
+
+class TestFullBlackholePolicy:
+    def test_any_length_with_community(self):
+        pol = FullBlackholePolicy()
+        for length in range(25, 33):
+            assert pol.accepts(route(f"203.0.113.0/{length}", blackhole=True))
+
+    def test_long_prefix_without_community_rejected(self):
+        assert not FullBlackholePolicy().accepts(route("203.0.113.0/30"))
+
+
+class TestPartialBlackholePolicy:
+    def test_deterministic_per_prefix(self):
+        pol = PartialBlackholePolicy(0.5, salt=7)
+        r = route("203.0.113.7/32", blackhole=True)
+        assert pol.accepts(r) == pol.accepts(r)
+
+    def test_fraction_respected_statistically(self):
+        pol = PartialBlackholePolicy(0.3, salt=42)
+        n = 2000
+        hits = sum(
+            pol.accepts(route(f"{a}.{b}.1.1/32", blackhole=True))
+            for a in range(1, 41)
+            for b in range(50)
+        )
+        assert abs(hits / n - 0.3) < 0.05
+
+    def test_salt_changes_selection(self):
+        routes = [route(f"10.0.{i}.1/32", blackhole=True) for i in range(64)]
+        a = [PartialBlackholePolicy(0.5, salt=1).accepts(r) for r in routes]
+        b = [PartialBlackholePolicy(0.5, salt=2).accepts(r) for r in routes]
+        assert a != b
+
+    def test_extremes(self):
+        r = route("203.0.113.7/32", blackhole=True)
+        assert PartialBlackholePolicy(1.0, salt=0).accepts(r)
+        assert not PartialBlackholePolicy(0.0, salt=0).accepts(r)
+
+    def test_short_prefixes_always_accepted(self):
+        assert PartialBlackholePolicy(0.0, salt=0).accepts(route("10.0.0.0/8"))
+
+    def test_non_blackhole_long_prefix_rejected(self):
+        assert not PartialBlackholePolicy(1.0, salt=0).accepts(route("10.0.0.1/32"))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PolicyError):
+            PartialBlackholePolicy(1.5, salt=0)
+
+
+class TestAcceptAll:
+    def test_everything_goes(self):
+        pol = AcceptAllPolicy()
+        assert pol.accepts(route("203.0.113.7/32"))
+        assert pol.accepts(route("0.0.0.0/0"))

@@ -1,0 +1,99 @@
+"""Unit tests for Adj-RIB-In / Loc-RIB and best-path selection."""
+
+from repro.bgp import AdjRIBIn, LocRIB, Route
+from repro.bgp.rib import best_path
+from repro.net import IPv4Address, IPv4Prefix
+
+PFX = IPv4Prefix("203.0.113.0/24")
+
+
+def make_route(peer, path=None, learned_at=0.0, prefix=PFX):
+    return Route(
+        prefix=prefix,
+        next_hop=IPv4Address("192.0.2.1"),
+        peer_asn=peer,
+        as_path=tuple(path or (peer,)),
+        learned_at=learned_at,
+    )
+
+
+class TestBestPath:
+    def test_prefers_shortest_as_path(self):
+        long = make_route(100, path=(100, 7, 8))
+        short = make_route(200, path=(200,))
+        assert best_path([long, short]) is short
+
+    def test_tie_break_oldest(self):
+        older = make_route(200, learned_at=1.0)
+        newer = make_route(100, learned_at=2.0)
+        assert best_path([newer, older]) is older
+
+    def test_final_tie_break_lowest_peer(self):
+        a, b = make_route(100), make_route(200)
+        assert best_path([b, a]) is a
+
+
+class TestAdjRIBIn:
+    def test_add_and_candidates(self):
+        rib = AdjRIBIn()
+        rib.add(make_route(100))
+        rib.add(make_route(200))
+        assert len(rib.candidates(PFX)) == 2
+        assert len(rib) == 2
+
+    def test_add_replaces_same_peer(self):
+        rib = AdjRIBIn()
+        rib.add(make_route(100, learned_at=1.0))
+        rib.add(make_route(100, learned_at=2.0))
+        assert len(rib.candidates(PFX)) == 1
+        assert rib.candidates(PFX)[0].learned_at == 2.0
+
+    def test_remove(self):
+        rib = AdjRIBIn()
+        rib.add(make_route(100))
+        assert rib.remove(100, PFX)
+        assert not rib.remove(100, PFX)
+        assert rib.candidates(PFX) == []
+        assert list(rib.prefixes()) == []
+
+    def test_routes_from(self):
+        rib = AdjRIBIn()
+        other = IPv4Prefix("198.51.100.0/24")
+        rib.add(make_route(100))
+        rib.add(make_route(100, prefix=other))
+        rib.add(make_route(200))
+        assert len(list(rib.routes_from(100))) == 2
+
+
+class TestLocRIB:
+    def test_install_and_lpm_lookup(self):
+        rib = LocRIB()
+        rib.install(make_route(100))
+        hit = rib.lookup(IPv4Address("203.0.113.50"))
+        assert hit is not None and hit.peer_asn == 100
+        assert rib.lookup(IPv4Address("8.8.8.8")) is None
+
+    def test_more_specific_wins(self):
+        rib = LocRIB()
+        rib.install(make_route(100))
+        host = IPv4Prefix("203.0.113.50/32")
+        rib.install(make_route(200, prefix=host))
+        assert rib.lookup(IPv4Address("203.0.113.50")).peer_asn == 200
+        assert rib.lookup(IPv4Address("203.0.113.51")).peer_asn == 100
+
+    def test_reselect_installs_winner(self):
+        adj, loc = AdjRIBIn(), LocRIB()
+        adj.add(make_route(100, path=(100, 5)))
+        adj.add(make_route(200))
+        winner = loc.reselect(adj, PFX)
+        assert winner.peer_asn == 200
+        assert loc.get(PFX).peer_asn == 200
+
+    def test_reselect_removes_when_empty(self):
+        adj, loc = AdjRIBIn(), LocRIB()
+        adj.add(make_route(100))
+        loc.reselect(adj, PFX)
+        adj.remove(100, PFX)
+        assert loc.reselect(adj, PFX) is None
+        assert PFX not in loc
+        assert len(loc) == 0

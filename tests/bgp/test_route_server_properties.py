@@ -1,0 +1,120 @@
+"""Property-based tests: route-server state stays consistent under random
+announce/withdraw interleavings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import BLACKHOLE, BlackholeWhitelistPolicy, MaxPrefixLengthPolicy, RouteServer
+from repro.bgp.community import do_not_announce_to, suppress_all, announce_to
+from repro.bgp.message import announce, withdraw
+from repro.net import IPv4Address, IPv4Prefix
+
+PEERS = [100, 200, 300]
+NH = IPv4Address("192.0.2.66")
+PREFIXES = [IPv4Prefix("203.0.113.0/24"),
+            IPv4Prefix("203.0.113.7/32"),
+            IPv4Prefix("198.51.100.9/32")]
+
+
+def actions():
+    """One random control-plane action."""
+    announce_action = st.tuples(
+        st.just("announce"),
+        st.sampled_from(PEERS),
+        st.integers(0, len(PREFIXES) - 1),
+        st.booleans(),                                # blackhole community?
+        st.sets(st.sampled_from(PEERS), max_size=2),  # denied peers
+    )
+    withdraw_action = st.tuples(
+        st.just("withdraw"),
+        st.sampled_from(PEERS),
+        st.integers(0, len(PREFIXES) - 1),
+        st.just(False),
+        st.just(set()),
+    )
+    return st.one_of(announce_action, withdraw_action)
+
+
+def build_server():
+    server = RouteServer()
+    server.add_peer(100, policy=BlackholeWhitelistPolicy())
+    server.add_peer(200, policy=MaxPrefixLengthPolicy())
+    server.add_peer(300)
+    return server
+
+
+def apply_actions(server, steps):
+    time = 0.0
+    for kind, peer, prefix_idx, blackhole, denied in steps:
+        time += 1.0
+        prefix = PREFIXES[prefix_idx]
+        if kind == "announce":
+            comms = set()
+            if blackhole:
+                comms.add(BLACKHOLE)
+            for d in denied:
+                comms.add(do_not_announce_to(d))
+            server.process(announce(time, peer, prefix, NH,
+                                    communities=frozenset(comms)))
+        else:
+            server.process(withdraw(time, peer, prefix))
+
+
+class TestRouteServerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(actions(), min_size=1, max_size=40))
+    def test_loc_rib_is_subset_of_adj_rib_in(self, steps):
+        server = build_server()
+        apply_actions(server, steps)
+        for asn in PEERS:
+            peer = server.peer(asn)
+            for prefix, route in peer.loc_rib.routes():
+                candidates = peer.adj_rib_in.candidates(prefix)
+                assert route in candidates
+                assert peer.policy.accepts(route)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(actions(), min_size=1, max_size=40))
+    def test_visibility_matches_standing_announcements(self, steps):
+        server = build_server()
+        apply_actions(server, steps)
+        announced = server.announced_blackholes()
+        for asn in PEERS:
+            visible = server.peer(asn).visible_blackholes()
+            # a peer can never see a blackhole that is not announced
+            assert visible <= announced
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(actions(), min_size=1, max_size=40))
+    def test_withdraw_all_empties_everything(self, steps):
+        server = build_server()
+        apply_actions(server, steps)
+        time = 1_000_000.0
+        for peer in PEERS:
+            for prefix in PREFIXES:
+                time += 1.0
+                server.process(withdraw(time, peer, prefix))
+        assert server.announced_blackholes() == set()
+        for asn in PEERS:
+            peer = server.peer(asn)
+            assert peer.visible_blackholes() == set()
+            assert len(peer.loc_rib) == 0
+            assert len(peer.adj_rib_in) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(actions(), min_size=1, max_size=30))
+    def test_late_joiner_converges_to_same_view(self, steps):
+        """A peer added after the fact sees exactly what an identical peer
+        that was present all along sees — provided the reference peer never
+        announced anything itself (announcers don't get their own routes
+        redistributed back) and no community singles it out (peer-specific
+        denials legitimately diverge the views)."""
+        steps = [(kind, 200 if peer == 100 else peer, prefix, blackhole, set())
+                 for kind, peer, prefix, blackhole, _denied in steps]
+        server = build_server()
+        apply_actions(server, steps)
+        late = server.add_peer(999, policy=BlackholeWhitelistPolicy())
+        reference = server.peer(100)  # same policy, present from the start
+        assert late.visible_blackholes() == reference.visible_blackholes()
+        assert late.accepted_blackholes() == reference.accepted_blackholes()

@@ -1,0 +1,29 @@
+"""Shared fixtures: one tiny scenario built once per session, plus its
+analysis pipeline. Small enough (< 2 s) to keep the suite fast while still
+exercising every analysis end to end."""
+
+import pytest
+
+from repro import AnalysisPipeline
+from repro.scenario import ScenarioConfig, run_scenario
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return ScenarioConfig.paper(scale=0.01, duration_days=14.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_config):
+    return run_scenario(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_result):
+    return AnalysisPipeline(
+        tiny_result.control,
+        tiny_result.data,
+        peer_asns=tiny_result.ixp.member_asns,
+        peeringdb=tiny_result.ixp.peeringdb,
+        host_min_days=8,  # the tiny scenario only spans 14 days
+    )

@@ -1,0 +1,118 @@
+"""Tests for the use-case classification (Fig. 19) and the report helpers."""
+
+import pytest
+
+from repro.core.classify import UseCase, classify_events
+from repro.core.droprate import EventTraffic
+from repro.core.events import RTBHEvent
+from repro.core.pre_rtbh import PreRTBHClass, PreRTBHClassification, PreRTBHEvent
+from repro.core.report import format_table, pct, seconds_human
+from repro.errors import AnalysisError
+from repro.net import IPv4Prefix
+
+DAY = 86_400.0
+END = 104 * DAY
+
+
+def make_event(eid, prefix, start, end):
+    return RTBHEvent(event_id=eid, prefix=IPv4Prefix(prefix),
+                     windows=((start, end),), announcer_asns=(100,),
+                     origin_asn=65000)
+
+
+def pre(eid, cls):
+    return PreRTBHEvent(event_id=eid, classification=cls,
+                        slots_with_data=0, total_packets=0)
+
+
+def traffic(eid, length, packets):
+    return EventTraffic(event_id=eid, prefix_length=length, packets=packets,
+                        dropped_packets=0, bytes=packets * 100,
+                        dropped_bytes=0)
+
+
+class TestUseCaseClassification:
+    def test_rule_set(self):
+        events = [
+            make_event(0, "203.0.113.7/32", 10 * DAY, 10 * DAY + 3600),  # ddos
+            make_event(1, "198.51.100.0/24", 5 * DAY, 60 * DAY),         # squatting
+            make_event(2, "203.0.113.9/32", 20 * DAY, END),              # zombie
+            make_event(3, "203.0.113.10/32", 30 * DAY, 30 * DAY + 7200), # other
+        ]
+        pre_cls = PreRTBHClassification(events=[
+            pre(0, PreRTBHClass.DATA_ANOMALY),
+            pre(1, PreRTBHClass.NO_DATA),
+            pre(2, PreRTBHClass.NO_DATA),
+            pre(3, PreRTBHClass.DATA_NO_ANOMALY),
+        ])
+        traffic_list = [traffic(0, 32, 500), traffic(1, 24, 0),
+                        traffic(2, 32, 3), traffic(3, 32, 50)]
+        result = classify_events(events, pre_cls, traffic_list, corpus_end=END)
+        cases = [e.use_case for e in result.events]
+        assert cases == [UseCase.INFRASTRUCTURE_PROTECTION,
+                         UseCase.SQUATTING_PROTECTION,
+                         UseCase.ZOMBIE,
+                         UseCase.OTHER]
+        shares = result.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert result.counts()[UseCase.ZOMBIE] == 1
+
+    def test_anomaly_wins_over_other_rules(self):
+        # a long /24 event WITH a preceding anomaly is DDoS mitigation
+        events = [make_event(0, "198.51.100.0/24", 5 * DAY, 60 * DAY)]
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.DATA_ANOMALY)])
+        result = classify_events(events, pre_cls, [traffic(0, 24, 100)], END)
+        assert result.events[0].use_case is UseCase.INFRASTRUCTURE_PROTECTION
+
+    def test_short_32_with_few_packets_is_other(self):
+        events = [make_event(0, "203.0.113.7/32", 5 * DAY, 5 * DAY + 3600)]
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.NO_DATA)])
+        result = classify_events(events, pre_cls, [traffic(0, 32, 0)], END)
+        assert result.events[0].use_case is UseCase.OTHER
+
+    def test_long_silent_32_is_zombie_even_before_corpus_end(self):
+        events = [make_event(0, "203.0.113.7/32", 5 * DAY, 20 * DAY)]
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.NO_DATA)])
+        result = classify_events(events, pre_cls, [traffic(0, 32, 2)], END)
+        assert result.events[0].use_case is UseCase.ZOMBIE
+
+    def test_duration_quartiles(self):
+        events = [make_event(i, "203.0.113.7/32", 0.0, float(d * 3600))
+                  for i, d in enumerate([1, 2, 3, 4], 0)]
+        pre_cls = PreRTBHClassification(
+            events=[pre(i, PreRTBHClass.DATA_ANOMALY) for i in range(4)])
+        traffic_list = [traffic(i, 32, 100) for i in range(4)]
+        result = classify_events(events, pre_cls, traffic_list, END)
+        q1, med, q3 = result.duration_quartiles(UseCase.INFRASTRUCTURE_PROTECTION)
+        assert q1 < med < q3
+        with pytest.raises(AnalysisError):
+            result.duration_quartiles(UseCase.SQUATTING_PROTECTION)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(AnalysisError):
+            classify_events([], PreRTBHClassification(events=[pre(0, PreRTBHClass.NO_DATA)]),
+                            [], END)
+
+    def test_empty_shares_rejected(self):
+        result = classify_events([], PreRTBHClassification(events=[]), [], END)
+        with pytest.raises(AnalysisError):
+            result.shares()
+
+
+class TestReportHelpers:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_pct(self):
+        assert pct(0.275) == "27.5%"
+        assert pct(1.0, 0) == "100%"
+
+    def test_seconds_human(self):
+        assert seconds_human(30) == "30s"
+        assert seconds_human(600) == "10.0min"
+        assert seconds_human(7200) == "2.0h"
+        assert seconds_human(20 * 86_400) == "20.0d"

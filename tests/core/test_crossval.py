@@ -1,0 +1,155 @@
+"""Tests for the external-vantage simulation and the §7.3 cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossval import cross_validate
+from repro.core.events import RTBHEvent
+from repro.core.pre_rtbh import PreRTBHClass, PreRTBHClassification, PreRTBHEvent
+from repro.errors import AnalysisError, ScenarioError
+from repro.net import IPv4Address, IPv4Prefix
+from repro.scenario import AttackVector, EventCategory, ScenarioConfig, build_paper_plan
+from repro.telescope import (
+    ExternalObservation,
+    ObservationSource,
+    ObservatoryConfig,
+    simulate_external_observations,
+)
+
+VIP = int(IPv4Address("203.0.113.7"))
+
+
+def make_event(eid, start=1000.0, end=2000.0, ip=VIP):
+    return RTBHEvent(event_id=eid, prefix=IPv4Prefix(ip, 32),
+                     windows=((start, end),), announcer_asns=(100,),
+                     origin_asn=65000)
+
+
+def pre(eid, cls):
+    return PreRTBHEvent(event_id=eid, classification=cls,
+                        slots_with_data=0, total_packets=0)
+
+
+def obs(ip=VIP, start=500.0, end=1500.0, source=ObservationSource.TELESCOPE):
+    return ExternalObservation(victim_ip=ip, start=start, end=end, source=source)
+
+
+class TestObservatorySimulation:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return build_paper_plan(ScenarioConfig.paper(scale=0.02,
+                                                     duration_days=30.0, seed=5))
+
+    def test_observations_sorted_and_typed(self, plan):
+        rng = np.random.default_rng(0)
+        observations = simulate_external_observations(plan, rng)
+        assert observations
+        starts = [o.start for o in observations]
+        assert starts == sorted(starts)
+        sources = {o.source for o in observations}
+        assert sources == {ObservationSource.TELESCOPE, ObservationSource.HONEYPOT}
+
+    def test_honeypots_carry_ports(self, plan):
+        rng = np.random.default_rng(1)
+        for o in simulate_external_observations(plan, rng):
+            if o.source is ObservationSource.HONEYPOT:
+                assert o.protocol_port is not None
+            else:
+                assert o.protocol_port is None
+
+    def test_amplification_seen_by_honeypots_not_telescope(self, plan):
+        rng = np.random.default_rng(2)
+        observations = simulate_external_observations(plan, rng)
+        amp_victims = {e.victim_ip for e in plan.events
+                       if e.vector is AttackVector.AMPLIFICATION}
+        remote_victims = {e.victim_ip for e in
+                          plan.events_of(EventCategory.DDOS_REMOTE)}
+        telescope_hits = {o.victim_ip for o in observations
+                          if o.source is ObservationSource.TELESCOPE}
+        # telescope sightings of amplification-only victims come only via
+        # the remote feed or carpet blind-spot probability
+        assert telescope_hits - amp_victims - remote_victims == (
+            telescope_hits - amp_victims - remote_victims)
+
+    def test_remote_attacks_observed(self, plan):
+        rng = np.random.default_rng(3)
+        observations = simulate_external_observations(plan, rng)
+        remote_victims = {e.victim_ip for e in
+                          plan.events_of(EventCategory.DDOS_REMOTE)}
+        assert any(o.victim_ip in remote_victims for o in observations)
+
+    def test_zero_coverage_sees_nothing(self, plan):
+        rng = np.random.default_rng(4)
+        config = ObservatoryConfig(telescope_detection=0.0,
+                                   honeypot_detection=0.0,
+                                   carpet_detection=0.0,
+                                   remote_attack_detection=0.0)
+        assert simulate_external_observations(plan, rng, config) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ScenarioError):
+            ObservatoryConfig(telescope_detection=1.5)
+        with pytest.raises(ScenarioError):
+            ObservatoryConfig(clock_jitter=-1.0)
+
+
+class TestCrossValidation:
+    def test_overlap_confirms(self):
+        events = [make_event(0)]
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.DATA_ANOMALY)])
+        result = cross_validate(events, pre_cls, [obs()])
+        assert result.confirmed_share == 1.0
+        assert result.agreement[(True, True)] == 1
+
+    def test_wrong_victim_does_not_confirm(self):
+        events = [make_event(0)]
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.NO_DATA)])
+        result = cross_validate(events, pre_cls, [obs(ip=VIP + 5)])
+        assert result.confirmed_share == 0.0
+
+    def test_prefix_covers_observation(self):
+        event = RTBHEvent(event_id=0, prefix=IPv4Prefix(VIP, 24),
+                          windows=((1000.0, 2000.0),), announcer_asns=(100,),
+                          origin_asn=65000)
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.NO_DATA)])
+        result = cross_validate([event], pre_cls, [obs(ip=VIP + 5)])
+        assert result.confirmed_share == 1.0
+
+    def test_time_tolerance(self):
+        events = [make_event(0, start=10_000.0, end=11_000.0)]
+        pre_cls = PreRTBHClassification(events=[pre(0, PreRTBHClass.NO_DATA)])
+        close = [obs(start=5_000.0, end=8_000.0)]  # 2000 s before the event
+        assert cross_validate(events, pre_cls, close,
+                              tolerance=3_600.0).confirmed_share == 1.0
+        assert cross_validate(events, pre_cls, close,
+                              tolerance=100.0).confirmed_share == 0.0
+
+    def test_agreement_matrix_counts(self):
+        events = [make_event(0), make_event(1, ip=VIP + 1),
+                  make_event(2, ip=VIP + 2)]
+        pre_cls = PreRTBHClassification(events=[
+            pre(0, PreRTBHClass.DATA_ANOMALY),   # confirmed + anomaly
+            pre(1, PreRTBHClass.DATA_ANOMALY),   # unconfirmed + anomaly
+            pre(2, PreRTBHClass.NO_DATA),        # confirmed, no anomaly
+        ])
+        result = cross_validate(events, pre_cls, [obs(), obs(ip=VIP + 2)])
+        assert result.agreement[(True, True)] == 1
+        assert result.agreement[(True, False)] == 1
+        assert result.agreement[(False, True)] == 1
+        assert result.only_external_share == pytest.approx(1 / 3)
+        assert result.only_ixp_share == pytest.approx(1 / 3)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(AnalysisError):
+            cross_validate([make_event(0)], PreRTBHClassification(events=[]), [])
+
+    def test_end_to_end_on_scenario(self, tiny_result, tiny_pipeline):
+        result = cross_validate(tiny_pipeline.events,
+                                tiny_pipeline.pre_classification,
+                                tiny_result.observations)
+        # Jonker et al.: fewer than 30% of RTBHs relate to externally
+        # detectable DDoS — the complementary vantage confirms a minority
+        assert 0.02 < result.confirmed_share < 0.45
+        # each methodology sees attacks the other misses
+        assert result.only_external_share > 0
+        assert result.only_ixp_share > 0

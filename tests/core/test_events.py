@@ -1,0 +1,132 @@
+"""Tests for RTBH event extraction and the Δ-merge sweep."""
+
+import numpy as np
+import pytest
+
+from repro.bgp import BLACKHOLE
+from repro.bgp.message import announce, withdraw
+from repro.core.events import (
+    extract_events,
+    merge_threshold_sweep,
+    unique_prefix_count,
+)
+from repro.corpus import ControlPlaneCorpus
+from repro.errors import AnalysisError
+from repro.net import IPv4Address, IPv4Prefix
+
+HOST = IPv4Prefix("203.0.113.7/32")
+HOST2 = IPv4Prefix("198.51.100.9/32")
+NH = IPv4Address("192.0.2.66")
+
+
+def bh(t, peer=100, prefix=HOST):
+    return announce(t, peer, prefix, NH, communities=frozenset({BLACKHOLE}))
+
+
+def onoff(prefix, *windows, peer=100):
+    msgs = []
+    for start, end in windows:
+        msgs.append(bh(start, peer, prefix))
+        msgs.append(withdraw(end, peer, prefix))
+    return msgs
+
+
+class TestExtraction:
+    def test_single_window_single_event(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (100.0, 400.0)))
+        events = extract_events(corpus)
+        assert len(events) == 1
+        assert events[0].windows == ((100.0, 400.0),)
+        assert events[0].duration == 300.0
+        assert events[0].active_time == 300.0
+
+    def test_gap_below_delta_merges(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (0.0, 100.0), (400.0, 500.0)))
+        events = extract_events(corpus, delta=600.0)
+        assert len(events) == 1
+        assert events[0].num_windows == 2
+        assert events[0].duration == 500.0
+        assert events[0].active_time == 200.0
+
+    def test_gap_above_delta_splits(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (0.0, 100.0), (1000.0, 1100.0)))
+        events = extract_events(corpus, delta=600.0)
+        assert len(events) == 2
+
+    def test_gap_exactly_delta_merges(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (0.0, 100.0), (700.0, 800.0)))
+        assert len(extract_events(corpus, delta=600.0)) == 1
+
+    def test_different_prefixes_never_merge(self):
+        msgs = onoff(HOST, (0.0, 100.0)) + onoff(HOST2, (50.0, 150.0))
+        events = extract_events(ControlPlaneCorpus(msgs))
+        assert len(events) == 2
+
+    def test_overlapping_announcers_coalesce(self):
+        msgs = onoff(HOST, (0.0, 300.0), peer=100) + onoff(HOST, (100.0, 400.0), peer=200)
+        events = extract_events(ControlPlaneCorpus(msgs))
+        assert len(events) == 1
+        assert events[0].windows == ((0.0, 400.0),)
+        assert events[0].announcer_asns == (100, 200)
+
+    def test_origin_asn_recorded(self):
+        msg = announce(0.0, 100, HOST, NH, as_path=(100, 65001),
+                       communities=frozenset({BLACKHOLE}))
+        corpus = ControlPlaneCorpus([msg, withdraw(10.0, 100, HOST)])
+        assert extract_events(corpus)[0].origin_asn == 65001
+
+    def test_dangling_announce_closed_at_corpus_end(self):
+        corpus = ControlPlaneCorpus([bh(0.0), bh(500.0, prefix=HOST2),
+                                     withdraw(900.0, 100, HOST2)])
+        events = extract_events(corpus)
+        zombie = [e for e in events if e.prefix == HOST][0]
+        assert zombie.end == 900.0
+
+    def test_event_ids_sequential_and_time_ordered(self):
+        msgs = onoff(HOST2, (500.0, 600.0)) + onoff(HOST, (0.0, 100.0))
+        events = extract_events(ControlPlaneCorpus(msgs))
+        assert [e.event_id for e in events] == [0, 1]
+        assert events[0].prefix == HOST
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(AnalysisError):
+            extract_events(ControlPlaneCorpus([]), delta=-1.0)
+
+    def test_covers_time(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (0.0, 100.0), (200.0, 300.0)))
+        event = extract_events(corpus)[0]
+        assert event.covers_time(50.0)
+        assert not event.covers_time(150.0)
+
+    def test_active_interval_set(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (0.0, 100.0), (200.0, 300.0)))
+        iset = extract_events(corpus)[0].active_interval_set()
+        assert iset.contains_scalar(250.0)
+        assert not iset.contains_scalar(150.0)
+
+
+class TestMergeSweep:
+    def test_monotone_decreasing(self):
+        msgs = onoff(HOST, (0.0, 100.0), (200.0, 300.0), (2000.0, 2100.0))
+        deltas, fraction = merge_threshold_sweep(ControlPlaneCorpus(msgs),
+                                                 deltas=[0.0, 150.0, 5000.0])
+        assert (np.diff(fraction) <= 0).all()
+        # 3 announcements; delta=0 -> 3 events; 150 -> 2; 5000 -> 1
+        np.testing.assert_allclose(fraction, [1.0, 2 / 3, 1 / 3])
+
+    def test_delta_inf_equals_unique_prefixes(self):
+        msgs = (onoff(HOST, (0.0, 100.0), (5000.0, 5100.0))
+                + onoff(HOST2, (0.0, 100.0)))
+        corpus = ControlPlaneCorpus(msgs)
+        deltas, fraction = merge_threshold_sweep(corpus, deltas=[1e12])
+        assert fraction[0] * 3 == unique_prefix_count(corpus) == 2
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(AnalysisError):
+            merge_threshold_sweep(ControlPlaneCorpus([]))
+
+    def test_default_grid(self):
+        corpus = ControlPlaneCorpus(onoff(HOST, (0.0, 100.0)))
+        deltas, fraction = merge_threshold_sweep(corpus)
+        assert len(deltas) > 50
+        assert fraction[-1] == 1.0  # single announcement: always one event

@@ -1,0 +1,80 @@
+"""Property-based tests of the Δ-merge machinery: the fast gap-counting
+sweep must agree with actually extracting events, for any corpus."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import BLACKHOLE
+from repro.bgp.message import announce, withdraw
+from repro.core.events import extract_events, merge_threshold_sweep
+from repro.corpus import ControlPlaneCorpus
+from repro.net import IPv4Address, IPv4Prefix
+
+NH = IPv4Address("192.0.2.66")
+PREFIXES = [IPv4Prefix("203.0.113.7/32"), IPv4Prefix("203.0.113.9/32"),
+            IPv4Prefix("198.51.100.0/24")]
+
+
+@st.composite
+def corpora(draw):
+    """A random corpus of non-overlapping windows per prefix."""
+    messages = []
+    for prefix in PREFIXES:
+        n_windows = draw(st.integers(0, 6))
+        t = 0.0
+        for _ in range(n_windows):
+            t += draw(st.floats(1.0, 5_000.0))
+            start = t
+            t += draw(st.floats(1.0, 5_000.0))
+            end = t
+            messages.append(announce(start, 100, prefix, NH,
+                                     communities=frozenset({BLACKHOLE})))
+            messages.append(withdraw(end, 100, prefix))
+    return ControlPlaneCorpus(messages)
+
+
+class TestSweepConsistency:
+    @settings(max_examples=60, deadline=None)
+    @given(corpora(), st.floats(0.0, 10_000.0))
+    def test_sweep_matches_extraction(self, corpus, delta):
+        if len(corpus) == 0:
+            return
+        events = extract_events(corpus, delta=delta)
+        _, fraction = merge_threshold_sweep(corpus, deltas=[delta])
+        announcements = sum(1 for m in corpus.rtbh_updates() if m.is_announce)
+        assert round(fraction[0] * announcements) == len(events)
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpora())
+    def test_events_partition_the_windows(self, corpus):
+        if len(corpus) == 0:
+            return
+        events = extract_events(corpus, delta=600.0)
+        windows_by_prefix = corpus.rtbh_windows_by_prefix()
+        total_windows = sum(len(w) for w in windows_by_prefix.values())
+        assert sum(e.num_windows for e in events) == total_windows
+        # events of one prefix are disjoint and ordered
+        by_prefix = {}
+        for event in events:
+            by_prefix.setdefault(event.prefix, []).append(event)
+        for prefix_events in by_prefix.values():
+            for a, b in zip(prefix_events, prefix_events[1:]):
+                assert a.end < b.start
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpora(), st.floats(0.0, 5_000.0), st.floats(0.0, 5_000.0))
+    def test_monotone_in_delta(self, corpus, d1, d2):
+        if len(corpus) == 0:
+            return
+        lo, hi = sorted([d1, d2])
+        assert len(extract_events(corpus, delta=hi)) <= len(
+            extract_events(corpus, delta=lo))
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpora())
+    def test_active_time_never_exceeds_duration(self, corpus):
+        if len(corpus) == 0:
+            return
+        for event in extract_events(corpus, delta=600.0):
+            assert event.active_time <= event.duration + 1e-9

@@ -1,0 +1,173 @@
+"""Tests for host classification (§6.1–6.2) and collateral damage (§6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp import BLACKHOLE
+from repro.bgp.message import announce, withdraw
+from repro.core.collateral import collateral_damage
+from repro.core.events import RTBHEvent, extract_events
+from repro.core.hosts import HostClass, classify_hosts, host_port_features
+from repro.corpus import ControlPlaneCorpus, DataPlaneCorpus
+from repro.dataplane.packet import packets_from_arrays
+from repro.net import IPv4Address, IPv4Prefix
+
+DAY = 86_400.0
+SERVER_IP = int(IPv4Address("203.0.113.7"))
+CLIENT_IP = int(IPv4Address("203.0.113.8"))
+NH = IPv4Address("192.0.2.66")
+
+
+def control_for(*host_ips, origin=65001):
+    msgs = []
+    for i, ip in enumerate(host_ips):
+        prefix = IPv4Prefix(ip, 32)
+        msgs.append(announce(1e7 + i, 100, prefix, NH, as_path=(100, origin),
+                             communities=frozenset({BLACKHOLE})))
+        msgs.append(withdraw(1e7 + i + 1800.0, 100, prefix))
+    return ControlPlaneCorpus(msgs)
+
+
+def daily_traffic(ip, days, stable_port, client_like, rng):
+    """Build incoming + outgoing rows for one host over `days` days."""
+    cols = {k: [] for k in ("time", "src_ip", "dst_ip", "src_port", "dst_port",
+                            "protocol", "dropped")}
+    for day in range(days):
+        t0 = day * DAY + 3600.0
+        in_port = int(rng.integers(49152, 65536)) if client_like else stable_port
+        for k in range(4):
+            # incoming
+            cols["time"].append(t0 + k * 600.0)
+            cols["src_ip"].append(1000 + k)
+            cols["dst_ip"].append(ip)
+            cols["src_port"].append(int(rng.integers(49152, 65536))
+                                    if not client_like else stable_port)
+            cols["dst_port"].append(in_port)
+            cols["protocol"].append(6)
+            cols["dropped"].append(False)
+            # outgoing
+            cols["time"].append(t0 + k * 600.0 + 1.0)
+            cols["src_ip"].append(ip)
+            cols["dst_ip"].append(1000 + k)
+            cols["src_port"].append(in_port)
+            cols["dst_port"].append(int(rng.integers(49152, 65536)))
+            cols["protocol"].append(6)
+            cols["dropped"].append(False)
+    return cols
+
+
+def build_data(*col_dicts):
+    merged = {}
+    for cols in col_dicts:
+        for key, vals in cols.items():
+            merged.setdefault(key, []).extend(vals)
+    arrays = {k: np.asarray(v) for k, v in merged.items()}
+    arrays["src_ip"] = arrays["src_ip"].astype(np.uint32)
+    arrays["dst_ip"] = arrays["dst_ip"].astype(np.uint32)
+    return DataPlaneCorpus(packets_from_arrays(arrays))
+
+
+class TestHostClassification:
+    def test_server_vs_client(self):
+        rng = np.random.default_rng(0)
+        data = build_data(
+            daily_traffic(SERVER_IP, 25, 443, client_like=False, rng=rng),
+            daily_traffic(CLIENT_IP, 25, 443, client_like=True, rng=rng),
+        )
+        control = control_for(SERVER_IP, CLIENT_IP)
+        events = extract_events(control)
+        study = classify_hosts(control, data, events, min_days=20)
+        by_ip = {h.ip: h for h in study.hosts}
+        assert by_ip[SERVER_IP].classification is HostClass.SERVER
+        assert by_ip[CLIENT_IP].classification is HostClass.CLIENT
+        assert by_ip[SERVER_IP].port_variation < 0.2
+        assert by_ip[CLIENT_IP].port_variation > 0.8
+
+    def test_min_days_gate(self):
+        rng = np.random.default_rng(1)
+        data = build_data(daily_traffic(SERVER_IP, 5, 443, False, rng))
+        control = control_for(SERVER_IP)
+        study = classify_hosts(control, data, extract_events(control), min_days=20)
+        assert study.hosts[0].classification is HostClass.UNCLASSIFIED
+
+    def test_non_blackholed_hosts_ignored(self):
+        rng = np.random.default_rng(2)
+        data = build_data(daily_traffic(SERVER_IP, 25, 443, False, rng))
+        control = control_for(CLIENT_IP)  # different host blackholed
+        study = classify_hosts(control, data, extract_events(control), min_days=20)
+        assert all(h.ip != SERVER_IP for h in study.hosts)
+
+    def test_origin_asn_joined(self):
+        rng = np.random.default_rng(3)
+        data = build_data(daily_traffic(SERVER_IP, 25, 443, False, rng))
+        control = control_for(SERVER_IP, origin=65009)
+        study = classify_hosts(control, data, extract_events(control), min_days=20)
+        assert study.hosts[0].origin_asn == 65009
+
+    def test_event_traffic_excluded(self):
+        # all the host's traffic falls inside the RTBH event -> excluded
+        rng = np.random.default_rng(4)
+        cols = daily_traffic(SERVER_IP, 2, 443, False, rng)
+        start = min(cols["time"]) - 700.0
+        end = max(cols["time"]) + 1.0
+        msgs = [announce(start, 100, IPv4Prefix(SERVER_IP, 32), NH,
+                         communities=frozenset({BLACKHOLE})),
+                withdraw(end, 100, IPv4Prefix(SERVER_IP, 32))]
+        control = ControlPlaneCorpus(msgs)
+        study = classify_hosts(control, build_data(cols),
+                               extract_events(control), min_days=1)
+        assert study.hosts == []
+
+    def test_radviz_matrix_shape(self):
+        rng = np.random.default_rng(5)
+        data = build_data(daily_traffic(SERVER_IP, 25, 443, False, rng))
+        control = control_for(SERVER_IP)
+        study = classify_hosts(control, data, extract_events(control), min_days=20)
+        matrix = study.radviz_matrix()
+        assert matrix.shape == (1, 4)
+        assert (matrix >= 0).all() and (matrix <= 1).all()
+
+    def test_port_features_empty(self):
+        empty = packets_from_arrays({})
+        assert host_port_features(empty, empty) == (0, 0, 0, 0)
+
+
+class TestCollateral:
+    def test_collateral_counted_and_split_by_drop(self):
+        rng = np.random.default_rng(6)
+        baseline = daily_traffic(SERVER_IP, 25, 443, False, rng)
+        # an RTBH event on day 30 with client traffic to the top port
+        event_start = 30 * DAY
+        cols = {k: list(v) for k, v in baseline.items()}
+        for k in range(10):
+            cols["time"].append(event_start + 60.0 * k)
+            cols["src_ip"].append(7777)
+            cols["dst_ip"].append(SERVER_IP)
+            cols["src_port"].append(50_000 + k)
+            cols["dst_port"].append(443)
+            cols["protocol"].append(6)
+            cols["dropped"].append(k < 6)
+        msgs = [announce(event_start, 100, IPv4Prefix(SERVER_IP, 32), NH,
+                         communities=frozenset({BLACKHOLE})),
+                withdraw(event_start + 3600.0, 100, IPv4Prefix(SERVER_IP, 32))]
+        control = ControlPlaneCorpus(msgs)
+        events = extract_events(control)
+        data = build_data(cols)
+        study = classify_hosts(control, data, events, min_days=20)
+        damage = collateral_damage(data, events, study)
+        assert damage.servers_considered == 1
+        assert damage.events_with_collateral == 1
+        [record] = damage.records
+        assert record.packets_to_top_ports == 10
+        assert record.dropped_to_top_ports == 6
+        assert damage.cdf().max == 10.0
+        assert damage.cdf(dropped_only=True).max == 6.0
+
+    def test_no_servers_no_collateral(self):
+        rng = np.random.default_rng(7)
+        data = build_data(daily_traffic(CLIENT_IP, 25, 443, True, rng))
+        control = control_for(CLIENT_IP)
+        events = extract_events(control)
+        study = classify_hosts(control, data, events, min_days=20)
+        damage = collateral_damage(data, events, study)
+        assert damage.records == []

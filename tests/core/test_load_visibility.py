@@ -1,0 +1,101 @@
+"""Tests for the RTBH load series (Fig. 3) and targeted visibility (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp import BLACKHOLE
+from repro.bgp.community import announce_to, do_not_announce_to, suppress_all
+from repro.bgp.message import announce, withdraw
+from repro.core.load import rtbh_load_series
+from repro.core.visibility import targeted_visibility
+from repro.corpus import ControlPlaneCorpus
+from repro.errors import AnalysisError
+from repro.net import IPv4Address, IPv4Prefix
+
+RS = 64_500
+HOST = IPv4Prefix("203.0.113.7/32")
+HOST2 = IPv4Prefix("198.51.100.9/32")
+NH = IPv4Address("192.0.2.66")
+PEERS = [100, 200, 300, 400]
+
+
+def bh(t, prefix=HOST, peer=100, extra=()):
+    return announce(t, peer, prefix, NH, communities=frozenset({BLACKHOLE, *extra}))
+
+
+class TestLoadSeries:
+    def test_active_counts(self):
+        msgs = [bh(0.0), bh(30.0, prefix=HOST2), withdraw(120.0, 100, HOST),
+                withdraw(3600.0, 100, HOST2)]
+        series = rtbh_load_series(ControlPlaneCorpus(msgs))
+        assert series.active_prefixes[0] == 2     # both active in minute 0
+        assert series.active_prefixes[3] == 1     # HOST gone after minute 2
+        assert series.peak_active == 2
+
+    def test_messages_per_minute(self):
+        msgs = [bh(0.0), bh(10.0, prefix=HOST2), withdraw(65.0, 100, HOST),
+                withdraw(3600.0, 100, HOST2)]
+        series = rtbh_load_series(ControlPlaneCorpus(msgs))
+        assert series.messages_per_minute[0] == 2
+        assert series.messages_per_minute[1] == 1
+        assert series.peak_messages == 2
+
+    def test_same_prefix_two_announcers_counts_once(self):
+        msgs = [bh(0.0, peer=100), bh(5.0, peer=200),
+                withdraw(600.0, 100, HOST), withdraw(660.0, 200, HOST)]
+        series = rtbh_load_series(ControlPlaneCorpus(msgs))
+        assert series.active_prefixes[0] == 1
+
+    def test_dangling_prefix_active_to_end(self):
+        msgs = [bh(0.0), bh(60.0, prefix=HOST2), withdraw(600.0, 100, HOST2)]
+        series = rtbh_load_series(ControlPlaneCorpus(msgs))
+        assert (series.active_prefixes >= 1).all()
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(AnalysisError):
+            rtbh_load_series(ControlPlaneCorpus([]))
+
+
+class TestTargetedVisibility:
+    def test_untargeted_fully_visible(self):
+        msgs = [bh(0.0), withdraw(7200.0, 100, HOST)]
+        series = targeted_visibility(ControlPlaneCorpus(msgs), PEERS, RS)
+        assert series.filtered_median.max() == 0.0
+        assert series.filtered_max.max() == 0.0
+
+    def test_targeted_announcement_filters_peers(self):
+        comms = (suppress_all(RS), announce_to(RS, 200))
+        msgs = [bh(0.0, extra=comms), bh(1.0, prefix=HOST2),
+                withdraw(7200.0, 100, HOST), withdraw(7200.0, 100, HOST2)]
+        series = targeted_visibility(ControlPlaneCorpus(msgs), PEERS, RS,
+                                     sample_interval=1800.0)
+        # two active prefixes; peers 300/400 see only one -> 50% filtered
+        assert series.announced[1] == 2
+        assert series.filtered_max[1] == pytest.approx(0.5)
+        # peers: [0, 0, 0.5, 0.5] filtered -> interpolated median 0.25
+        assert series.filtered_median[1] == pytest.approx(0.25)
+
+    def test_deny_community(self):
+        msgs = [bh(0.0, extra=(do_not_announce_to(300),)),
+                withdraw(7200.0, 100, HOST)]
+        series = targeted_visibility(ControlPlaneCorpus(msgs), PEERS, RS,
+                                     sample_interval=1800.0)
+        assert series.filtered_max[1] == pytest.approx(1.0)  # peer 300 sees nothing
+        assert series.filtered_median[1] == pytest.approx(0.0)
+
+    def test_withdraw_clears_visibility_state(self):
+        comms = (suppress_all(RS), announce_to(RS, 200))
+        msgs = [bh(0.0, extra=comms), withdraw(1800.0, 100, HOST),
+                bh(3600.0, prefix=HOST2), withdraw(9000.0, 100, HOST2)]
+        series = targeted_visibility(ControlPlaneCorpus(msgs), PEERS, RS,
+                                     sample_interval=3600.0)
+        assert series.filtered_max[-1] == 0.0
+
+    def test_requires_peer_list(self):
+        with pytest.raises(AnalysisError):
+            targeted_visibility(ControlPlaneCorpus([bh(0.0)]), [], RS)
+
+    def test_requires_rtbh_messages(self):
+        plain = announce(0.0, 100, HOST, NH)
+        with pytest.raises(AnalysisError):
+            targeted_visibility(ControlPlaneCorpus([plain]), PEERS, RS)

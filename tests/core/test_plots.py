@@ -1,0 +1,59 @@
+"""Tests for the ASCII plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.plots import cdf_plot, line_plot, sparkline
+from repro.errors import AnalysisError
+from repro.stats import EmpiricalCDF
+
+
+class TestSparkline:
+    def test_length_and_extremes(self):
+        text = sparkline([0, 1, 2, 3, 4], width=5)
+        assert len(text) == 5
+        assert text[0] == "▁" and text[-1] == "█"
+
+    def test_resampling(self):
+        text = sparkline(np.arange(1000), width=40)
+        assert len(text) == 40
+
+    def test_flat_series(self):
+        assert set(sparkline([5, 5, 5])) == {"▁"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_monotone_series_has_corner_points(self):
+        text = line_plot([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=5)
+        lines = text.splitlines()
+        assert lines[0].rstrip().endswith("*")      # top-right point
+        assert "*" in lines[4]                       # bottom row has the min
+        assert "+" in lines[5]                       # axis
+
+    def test_labels_rendered(self):
+        text = line_plot([0, 1], [0, 1], x_label="delta", y_label="events")
+        assert "x: delta" in text and "y: events" in text
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            line_plot([1, 2], [1])
+
+    def test_constant_y(self):
+        text = line_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in text
+
+
+class TestCDFPlot:
+    def test_renders(self):
+        cdf = EmpiricalCDF(np.random.default_rng(0).random(500))
+        text = cdf_plot(cdf, x_label="drop share")
+        assert "F(x)" in text
+        assert text.count("*") > 10
+
+    def test_tiny_sample(self):
+        text = cdf_plot(EmpiricalCDF([1.0, 2.0]))
+        assert "*" in text

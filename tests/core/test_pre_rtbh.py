@@ -1,0 +1,178 @@
+"""Tests for the pre-RTBH classification (§5.2–5.3) on synthetic corpora
+with planted anomalies."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import RTBHEvent
+from repro.core.pre_rtbh import (
+    N_SLOTS,
+    PRE_WINDOW,
+    PreRTBHClass,
+    SLOT,
+    classify_pre_rtbh_events,
+    slot_features,
+)
+from repro.corpus import DataPlaneCorpus
+from repro.dataplane.packet import packets_from_arrays
+from repro.net import IPv4Address, IPv4Prefix
+
+VICTIM = IPv4Prefix("203.0.113.7/32")
+VIP = int(IPv4Address("203.0.113.7"))
+
+
+def make_event(eid, start):
+    return RTBHEvent(event_id=eid, prefix=VICTIM,
+                     windows=((start, start + 1800.0),),
+                     announcer_asns=(100,), origin_asn=65000)
+
+
+def baseline_packets(rng, t0, t1, rate_per_slot=3.0):
+    """Steady background traffic to the victim."""
+    n = rng.poisson(rate_per_slot * (t1 - t0) / SLOT)
+    times = rng.uniform(t0, t1, n)
+    return {
+        "time": times,
+        "dst_ip": np.full(n, VIP, dtype=np.uint32),
+        "src_ip": rng.integers(0, 1000, n).astype(np.uint32),
+        "src_port": rng.integers(1024, 65536, n).astype(np.uint16),
+        "dst_port": np.full(n, 443, dtype=np.uint16),
+        "protocol": np.full(n, 6, dtype=np.uint8),
+    }
+
+
+def attack_packets(rng, t0, t1, count=500):
+    times = rng.uniform(t0, t1, count)
+    return {
+        "time": times,
+        "dst_ip": np.full(count, VIP, dtype=np.uint32),
+        "src_ip": rng.integers(10_000, 20_000, count).astype(np.uint32),
+        "src_port": np.full(count, 123, dtype=np.uint16),
+        "dst_port": rng.integers(1024, 65536, count).astype(np.uint16),
+        "protocol": np.full(count, 17, dtype=np.uint8),
+    }
+
+
+def combine(*column_dicts):
+    keys = column_dicts[0].keys()
+    merged = {k: np.concatenate([d[k] for d in column_dicts]) for k in keys}
+    return DataPlaneCorpus(packets_from_arrays(merged))
+
+
+class TestSlotFeatures:
+    def test_shapes_and_counts(self):
+        rng = np.random.default_rng(0)
+        data = combine(baseline_packets(rng, 0.0, PRE_WINDOW))
+        features = slot_features(data.packets, 0.0)
+        assert features.shape == (N_SLOTS, 5)
+        assert features[:, 0].sum() == len(data)
+
+    def test_empty(self):
+        features = slot_features(np.zeros(0, dtype=combine(
+            baseline_packets(np.random.default_rng(0), 0.0, 10.0)).packets.dtype), 0.0)
+        assert features.sum() == 0
+
+    def test_unique_counts(self):
+        packets = packets_from_arrays({
+            "time": np.array([1.0, 2.0, 3.0]),
+            "src_ip": np.array([1, 1, 2], dtype=np.uint32),
+            "dst_port": np.array([80, 80, 443], dtype=np.uint16),
+            "protocol": np.array([6, 17, 6], dtype=np.uint8),
+        })
+        features = slot_features(packets, 0.0, n_slots=1)
+        packets_n, flows, srcs, ports, non_tcp = features[0]
+        assert packets_n == 3
+        assert srcs == 2
+        assert ports == 2
+        assert non_tcp == 1
+
+    def test_out_of_range_ignored(self):
+        packets = packets_from_arrays({"time": np.array([-5.0, 1e9])})
+        assert slot_features(packets, 0.0).sum() == 0
+
+
+class TestClassification:
+    def test_no_data(self):
+        rng = np.random.default_rng(1)
+        event_start = PRE_WINDOW + 7200.0
+        # traffic exists but not towards the victim
+        other = baseline_packets(rng, 0.0, event_start)
+        other["dst_ip"] = np.full(len(other["time"]), 42, dtype=np.uint32)
+        data = combine(other)
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        assert result.events[0].classification is PreRTBHClass.NO_DATA
+
+    def test_data_no_anomaly(self):
+        rng = np.random.default_rng(2)
+        event_start = PRE_WINDOW + 7200.0
+        data = combine(baseline_packets(rng, 0.0, event_start))
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        assert result.events[0].classification is PreRTBHClass.DATA_NO_ANOMALY
+        assert result.events[0].slots_with_data > 500
+
+    def test_attack_right_before_event_detected(self):
+        rng = np.random.default_rng(3)
+        event_start = PRE_WINDOW + 7200.0
+        data = combine(
+            baseline_packets(rng, 0.0, event_start),
+            attack_packets(rng, event_start - 480.0, event_start),
+        )
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        ev = result.events[0]
+        assert ev.classification is PreRTBHClass.DATA_ANOMALY
+        assert ev.has_anomaly_within["10min"]
+        # level: all five features spike
+        assert max(level for _, level in ev.anomalies) >= 4
+
+    def test_old_anomaly_not_within_10min(self):
+        rng = np.random.default_rng(4)
+        event_start = PRE_WINDOW + 7200.0
+        data = combine(
+            baseline_packets(rng, 0.0, event_start),
+            attack_packets(rng, event_start - 7200.0, event_start - 5400.0),
+        )
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        ev = result.events[0]
+        assert ev.classification is PreRTBHClass.DATA_NO_ANOMALY
+        assert not ev.has_anomaly_within["10min"]
+        assert ev.has_anomaly_within["1h"] is False  # ~90-120 min before
+        assert len(ev.anomalies) > 0
+
+    def test_amplification_factor_large_for_attack(self):
+        rng = np.random.default_rng(5)
+        event_start = PRE_WINDOW + 7200.0
+        data = combine(
+            baseline_packets(rng, 0.0, event_start),
+            attack_packets(rng, event_start - 290.0, event_start, count=2000),
+        )
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        ev = result.events[0]
+        finite = [f for f in ev.amplification_factors if np.isfinite(f)]
+        assert max(finite) > 50
+        assert ev.last_slot_is_max
+
+    def test_truncated_window_does_not_false_alarm(self):
+        # event 30 h after corpus start: the pre-window head is empty by
+        # construction; steady traffic afterwards must NOT alarm
+        rng = np.random.default_rng(6)
+        event_start = 30 * 3600.0
+        data = combine(baseline_packets(rng, 0.0, event_start))
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        assert result.events[0].classification is PreRTBHClass.DATA_NO_ANOMALY
+
+    def test_class_shares_sum_to_one(self):
+        rng = np.random.default_rng(7)
+        event_start = PRE_WINDOW + 7200.0
+        data = combine(baseline_packets(rng, 0.0, event_start))
+        result = classify_pre_rtbh_events(
+            data, [make_event(0, event_start), make_event(1, event_start + 60.0)])
+        shares = result.class_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_fig11_histogram(self):
+        rng = np.random.default_rng(8)
+        event_start = PRE_WINDOW + 7200.0
+        data = combine(baseline_packets(rng, 0.0, event_start, rate_per_slot=0.01))
+        result = classify_pre_rtbh_events(data, [make_event(0, event_start)])
+        ks, cumulative = result.slots_with_data_histogram()
+        assert cumulative[-1] == 1  # the single event appears at its slot count

@@ -1,0 +1,41 @@
+"""Tests for the Table 1 expectations data and pipeline caching."""
+
+from repro.core.classify import TABLE1_EXPECTATIONS, UseCase
+
+
+class TestTable1:
+    def test_three_literature_use_cases(self):
+        assert len(TABLE1_EXPECTATIONS) == 3
+        cases = [e.use_case for e in TABLE1_EXPECTATIONS]
+        assert UseCase.INFRASTRUCTURE_PROTECTION in cases
+        assert UseCase.SQUATTING_PROTECTION in cases
+
+    def test_infrastructure_row_matches_paper(self):
+        row = next(e for e in TABLE1_EXPECTATIONS
+                   if e.use_case is UseCase.INFRASTRUCTURE_PROTECTION)
+        assert row.prefix_length == "/32"
+        assert row.trigger.startswith("automatic")
+        assert row.traffic == "attack"
+        assert row.target == "server"
+
+    def test_squatting_row_matches_paper(self):
+        row = next(e for e in TABLE1_EXPECTATIONS
+                   if e.use_case is UseCase.SQUATTING_PROTECTION)
+        assert row.prefix_length == "<= /24"
+        assert row.typical_duration == "months"
+        assert row.traffic == "scanning"
+
+
+class TestPipelineCaching:
+    def test_shared_intermediates_cached(self, tiny_pipeline):
+        assert tiny_pipeline.events is tiny_pipeline.events
+        assert tiny_pipeline.pre_classification is tiny_pipeline.pre_classification
+        assert tiny_pipeline.event_traffic is tiny_pipeline.event_traffic
+        assert tiny_pipeline.host_study is tiny_pipeline.host_study
+
+    def test_event_ids_align_across_intermediates(self, tiny_pipeline):
+        events = tiny_pipeline.events
+        pre = tiny_pipeline.pre_classification.events
+        traffic = tiny_pipeline.event_traffic
+        assert [e.event_id for e in events] == [p.event_id for p in pre]
+        assert [e.event_id for e in events] == [t.event_id for t in traffic]

@@ -1,0 +1,109 @@
+"""Failure injection: malformed, hostile, or degenerate corpus inputs must
+fail loudly (library exceptions) or degrade gracefully — never corrupt an
+analysis silently."""
+
+import numpy as np
+import pytest
+
+from repro.bgp import BLACKHOLE
+from repro.bgp.message import announce, withdraw
+from repro.core.events import extract_events, merge_threshold_sweep
+from repro.core.load import rtbh_load_series
+from repro.core.pre_rtbh import classify_pre_rtbh_events
+from repro.corpus import ControlPlaneCorpus, DataPlaneCorpus
+from repro.dataplane.packet import packets_from_arrays
+from repro.errors import AnalysisError, CorpusError, ReproError
+from repro.net import IPv4Address, IPv4Prefix
+
+HOST = IPv4Prefix("203.0.113.7/32")
+NH = IPv4Address("192.0.2.66")
+
+
+def bh(t, peer=100):
+    return announce(t, peer, HOST, NH, communities=frozenset({BLACKHOLE}))
+
+
+class TestControlPlaneHostility:
+    def test_withdraw_storm_without_announces(self):
+        msgs = [withdraw(float(t), 100, HOST) for t in range(1, 50)]
+        corpus = ControlPlaneCorpus(msgs)
+        assert corpus.rtbh_message_count() == 0
+        with pytest.raises(AnalysisError):
+            merge_threshold_sweep(corpus)
+
+    def test_duplicate_announces_same_peer(self):
+        # repeated announcements without withdrawal: one window
+        msgs = [bh(1.0), bh(2.0), bh(3.0), withdraw(10.0, 100, HOST)]
+        corpus = ControlPlaneCorpus(msgs)
+        events = extract_events(corpus)
+        assert len(events) == 1
+        assert events[0].windows == ((1.0, 10.0),)
+
+    def test_interleaved_peers_and_flapping(self):
+        msgs = []
+        for t in range(100):
+            peer = 100 + (t % 3)
+            if t % 2 == 0:
+                msgs.append(bh(float(t), peer))
+            else:
+                msgs.append(withdraw(float(t), peer, HOST))
+        corpus = ControlPlaneCorpus(msgs)
+        events = extract_events(corpus, delta=600.0)
+        assert len(events) == 1  # the flapping all merges
+        series = rtbh_load_series(corpus)
+        assert series.peak_active == 1
+
+    def test_bad_jsonl_payloads(self, tmp_path):
+        cases = [
+            '{"not": "an update"}',
+            '{"time": "yesterday", "peer_asn": 1, "action": "announce", '
+            '"prefix": "10.0.0.0/8", "next_hop": null, "as_path": [], '
+            '"communities": []}',
+            '{"time": 1, "peer_asn": 1, "action": "explode", '
+            '"prefix": "10.0.0.0/8", "next_hop": null, "as_path": [], '
+            '"communities": []}',
+            '{"time": 1, "peer_asn": 1, "action": "announce", '
+            '"prefix": "999.0.0.0/8", "next_hop": "192.0.2.1", "as_path": [1], '
+            '"communities": []}',
+        ]
+        for i, payload in enumerate(cases):
+            path = tmp_path / f"bad{i}.jsonl"
+            path.write_text(payload + "\n")
+            with pytest.raises(ReproError):
+                ControlPlaneCorpus.load_jsonl(path)
+
+
+class TestDataPlaneHostility:
+    def test_unsorted_input_is_sorted(self):
+        packets = packets_from_arrays({
+            "time": np.array([9.0, 1.0, 5.0]),
+        })
+        corpus = DataPlaneCorpus(packets)
+        assert corpus.packets["time"].tolist() == [1.0, 5.0, 9.0]
+
+    def test_wrong_dtype_rejected_immediately(self):
+        with pytest.raises(CorpusError):
+            DataPlaneCorpus(np.zeros(10, dtype=np.float64))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            packets_from_arrays({"time": np.zeros(3), "dst_ip": np.zeros(2)})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError):
+            packets_from_arrays({"tine": np.zeros(3)})
+
+    def test_classification_with_empty_data_plane(self):
+        corpus = DataPlaneCorpus(packets_from_arrays({}))
+        control = ControlPlaneCorpus([bh(1e6), withdraw(1e6 + 60, 100, HOST)])
+        events = extract_events(control)
+        result = classify_pre_rtbh_events(corpus, events)
+        assert len(result) == 1
+        shares = result.class_shares()
+        assert shares[list(shares)[0]] == 1.0  # everything lands in no-data
+
+    def test_truncated_npz(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        np.savez(path, packets=np.zeros(3))  # wrong dtype inside
+        with pytest.raises(ReproError):
+            DataPlaneCorpus.load_npz(path)

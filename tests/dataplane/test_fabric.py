@@ -1,0 +1,98 @@
+"""Tests for the switching fabric's live forwarding view."""
+
+import pytest
+
+from repro.bgp import BLACKHOLE, BlackholeWhitelistPolicy, MaxPrefixLengthPolicy, RouteServer
+from repro.bgp.message import announce
+from repro.dataplane import BLACKHOLE_MAC, SwitchingFabric
+from repro.errors import FabricError
+from repro.net import IPv4Address, IPv4Prefix, MACAddress
+
+BH_IP = IPv4Address("192.0.2.254")
+HOST = IPv4Prefix("203.0.113.7/32")
+
+
+@pytest.fixture
+def setup():
+    fabric = SwitchingFabric(blackhole_ip=BH_IP)
+    server = RouteServer()
+    macs = {}
+    for i, (asn, policy) in enumerate(
+        [(100, None), (200, BlackholeWhitelistPolicy()), (300, MaxPrefixLengthPolicy())]
+    ):
+        mac = MACAddress(0x020000000000 + i)
+        ip = IPv4Address(f"192.0.2.{i + 1}")
+        fabric.attach(asn, mac, ip)
+        server.add_peer(asn, policy=policy)
+        macs[asn] = mac
+    fabric.claim_prefix(IPv4Prefix("203.0.113.0/24"), 100)
+    return fabric, server, macs
+
+
+class TestAttachment:
+    def test_duplicate_asn_rejected(self, setup):
+        fabric, _, _ = setup
+        with pytest.raises(FabricError):
+            fabric.attach(100, MACAddress(99), IPv4Address("192.0.2.99"))
+
+    def test_duplicate_ip_rejected(self, setup):
+        fabric, _, _ = setup
+        with pytest.raises(FabricError):
+            fabric.attach(999, MACAddress(99), IPv4Address("192.0.2.1"))
+
+    def test_duplicate_mac_rejected(self, setup):
+        fabric, _, _ = setup
+        with pytest.raises(FabricError):
+            fabric.attach(999, MACAddress(0x020000000000), IPv4Address("192.0.2.99"))
+
+    def test_blackhole_ip_collision_rejected(self, setup):
+        fabric, _, _ = setup
+        with pytest.raises(FabricError):
+            fabric.attach(999, MACAddress(99), BH_IP)
+
+    def test_claim_requires_attachment(self, setup):
+        fabric, _, _ = setup
+        with pytest.raises(FabricError):
+            fabric.claim_prefix(IPv4Prefix("10.0.0.0/8"), 999)
+
+    def test_member_listing(self, setup):
+        fabric, _, _ = setup
+        assert fabric.member_asns == [100, 200, 300]
+        assert len(fabric) == 3
+
+
+class TestForwarding:
+    def test_default_delivery_to_owner(self, setup):
+        fabric, server, macs = setup
+        mac, dropped = fabric.forward(server.peer(200), IPv4Address("203.0.113.7"))
+        assert mac == macs[100] and not dropped
+
+    def test_unknown_destination(self, setup):
+        fabric, server, _ = setup
+        mac, dropped = fabric.forward(server.peer(200), IPv4Address("8.8.8.8"))
+        assert mac is None and not dropped
+
+    def test_blackholed_for_accepting_peer(self, setup):
+        fabric, server, macs = setup
+        server.process(announce(0.0, 100, HOST, BH_IP, communities=frozenset({BLACKHOLE})))
+        mac, dropped = fabric.forward(server.peer(200), IPv4Address("203.0.113.7"))
+        assert mac == BLACKHOLE_MAC and dropped
+        # the rejecting peer still delivers to the owner
+        mac, dropped = fabric.forward(server.peer(300), IPv4Address("203.0.113.7"))
+        assert mac == macs[100] and not dropped
+
+    def test_unblackholed_sibling_address_unaffected(self, setup):
+        fabric, server, macs = setup
+        server.process(announce(0.0, 100, HOST, BH_IP, communities=frozenset({BLACKHOLE})))
+        mac, dropped = fabric.forward(server.peer(200), IPv4Address("203.0.113.8"))
+        assert mac == macs[100] and not dropped
+
+    def test_resolve_unknown_next_hop(self, setup):
+        fabric, _, _ = setup
+        with pytest.raises(FabricError):
+            fabric.resolve_mac(IPv4Address("10.9.9.9"))
+
+    def test_owner_lookup(self, setup):
+        fabric, _, _ = setup
+        assert fabric.owner_of(IPv4Address("203.0.113.200")) == 100
+        assert fabric.owner_of(IPv4Address("8.8.8.8")) is None

@@ -1,0 +1,41 @@
+"""Unit tests for flow specifications."""
+
+import pytest
+
+from repro.dataplane import FlowLabel, FlowSpec
+from repro.errors import ScenarioError
+
+
+def spec(**overrides):
+    base = dict(
+        start=0.0, duration=60.0, src_ip=1, dst_ip=2, protocol=17,
+        src_port=123, dst_port=4444, pps=100.0, mean_packet_size=468.0,
+        ingress_asn=100, origin_asn=999, label=FlowLabel.ATTACK,
+    )
+    base.update(overrides)
+    return FlowSpec(**base)
+
+
+class TestFlowSpec:
+    def test_end_and_expectations(self):
+        f = spec()
+        assert f.end == 60.0
+        assert f.expected_packets == pytest.approx(6000.0)
+        assert f.expected_bytes == pytest.approx(6000.0 * 468.0)
+
+    @pytest.mark.parametrize("kw", [
+        {"duration": 0.0}, {"duration": -1.0}, {"pps": 0.0},
+        {"mean_packet_size": 20}, {"mean_packet_size": 20000},
+        {"src_port": -1}, {"dst_port": 70000},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ScenarioError):
+            spec(**kw)
+
+    def test_label_default_unknown(self):
+        f = spec(label=FlowLabel.UNKNOWN)
+        assert f.label is FlowLabel.UNKNOWN
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            spec().pps = 5.0

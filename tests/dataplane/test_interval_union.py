@@ -1,0 +1,74 @@
+"""Property tests for IntervalSet.union (used by the Fig. 2 offset MLE)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane import IntervalSet
+
+
+@st.composite
+def interval_sets(draw):
+    n = draw(st.integers(0, 5))
+    iset = IntervalSet()
+    t = 0.0
+    end = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.5, 100.0))
+        start = t
+        t += draw(st.floats(0.5, 100.0))
+        iset.open_at(start)
+        iset.close_at(t)
+        end = t
+    return iset.finalize(end)
+
+
+class TestIntervalUnion:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(interval_sets(), min_size=0, max_size=4))
+    def test_union_membership_equals_any(self, sets):
+        union = IntervalSet.union(sets)
+        times = np.linspace(0.0, 600.0, 241)
+        expected = np.zeros(len(times), dtype=bool)
+        for iset in sets:
+            expected |= iset.contains(times)
+        np.testing.assert_array_equal(union.contains(times), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(interval_sets(), min_size=1, max_size=4))
+    def test_union_intervals_disjoint_and_sorted(self, sets):
+        union = IntervalSet.union(sets)
+        intervals = union.intervals
+        for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+            assert e0 < s1
+        for s, e in intervals:
+            assert s < e
+
+    @settings(max_examples=40, deadline=None)
+    @given(interval_sets())
+    def test_union_of_one_is_identity(self, iset):
+        union = IntervalSet.union([iset])
+        assert union.intervals == iset.intervals
+
+    def test_union_of_none_is_empty(self):
+        union = IntervalSet.union([])
+        assert len(union) == 0
+        assert not union.contains_scalar(5.0)
+
+    def test_overlap_coalesced(self):
+        a, b = IntervalSet(), IntervalSet()
+        a.open_at(0.0)
+        a.close_at(10.0)
+        b.open_at(5.0)
+        b.close_at(20.0)
+        union = IntervalSet.union([a.finalize(10.0), b.finalize(20.0)])
+        assert union.intervals == [(0.0, 20.0)]
+
+    def test_touching_intervals_merge(self):
+        a, b = IntervalSet(), IntervalSet()
+        a.open_at(0.0)
+        a.close_at(10.0)
+        b.open_at(10.0)
+        b.close_at(20.0)
+        union = IntervalSet.union([a.finalize(10.0), b.finalize(20.0)])
+        assert union.intervals == [(0.0, 20.0)]

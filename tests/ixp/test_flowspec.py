@@ -1,0 +1,120 @@
+"""Tests for the FlowSpec dissemination service."""
+
+import numpy as np
+import pytest
+
+from repro.bgp import BlackholeWhitelistPolicy
+from repro.dataplane.packet import packets_from_arrays
+from repro.errors import BGPError, ScenarioError
+from repro.ixp import IXP, FlowSpecService
+from repro.mitigation import FilterRule
+from repro.net import IPv4Address, IPv4Prefix
+
+VICTIM_SPACE = IPv4Prefix("203.0.113.0/24")
+VICTIM = IPv4Prefix("203.0.113.7/32")
+VIP = int(IPv4Address("203.0.113.7"))
+
+
+@pytest.fixture
+def setup():
+    ixp = IXP()
+    victim = ixp.add_member(100, originated=[VICTIM_SPACE])
+    ixp.add_member(200, policy=BlackholeWhitelistPolicy())
+    ixp.add_member(300)
+    service = FlowSpecService(capable_asns=[200])  # only AS200 honours FS
+    return ixp, victim, service
+
+
+def ntp_rule(prefix=VICTIM):
+    return FilterRule(protocol=17, src_ports=frozenset({123}), dst_prefix=prefix)
+
+
+def packets(rows):
+    """rows: (time, ingress, src_port, proto, dst_ip)"""
+    t, i, sp, p, d = zip(*rows)
+    return packets_from_arrays({
+        "time": np.array(t, dtype=np.float64),
+        "ingress_asn": np.array(i, dtype=np.uint32),
+        "src_port": np.array(sp, dtype=np.uint16),
+        "protocol": np.array(p, dtype=np.uint8),
+        "dst_ip": np.array(d, dtype=np.uint32),
+    })
+
+
+class TestSignalling:
+    def test_announce_assigns_ids(self, setup):
+        _, victim, service = setup
+        r1 = service.announce_rule(10.0, victim, ntp_rule())
+        r2 = service.announce_rule(20.0, victim, ntp_rule())
+        assert r1.rule_id != r2.rule_id
+        assert len(service) == 2
+
+    def test_ownership_validation(self, setup):
+        _, victim, service = setup
+        foreign = FilterRule(protocol=17, dst_prefix=IPv4Prefix("8.8.8.0/24"))
+        with pytest.raises(BGPError):
+            service.announce_rule(0.0, victim, foreign)
+
+    def test_rule_requires_destination(self):
+        with pytest.raises(ScenarioError):
+            from repro.ixp.flowspec import FlowSpecRule
+
+            FlowSpecRule(rule_id=0, owner_asn=1, match=FilterRule(protocol=17))
+
+    def test_withdraw(self, setup):
+        _, victim, service = setup
+        rule = service.announce_rule(10.0, victim, ntp_rule())
+        service.withdraw_rule(50.0, rule.rule_id)
+        assert service.active_rules(30.0) == [rule]
+        assert service.active_rules(60.0) == []
+        with pytest.raises(BGPError):
+            service.withdraw_rule(70.0, rule.rule_id)
+
+    def test_capability_gates_visibility(self, setup):
+        _, victim, service = setup
+        rule = service.announce_rule(10.0, victim, ntp_rule())
+        assert service.rules_seen_by(200, 20.0) == [rule]
+        assert service.rules_seen_by(300, 20.0) == []  # not capable
+
+    def test_targeting(self, setup):
+        _, victim, service = setup
+        service = FlowSpecService(capable_asns=[200, 300])
+        rule = service.announce_rule(10.0, victim, ntp_rule(), targets=[300])
+        assert service.rules_seen_by(300, 20.0) == [rule]
+        assert service.rules_seen_by(200, 20.0) == []
+
+
+class TestDataPlaneEffect:
+    def test_mark_dropped_scoped_by_capability_window_and_match(self, setup):
+        _, victim, service = setup
+        rule = service.announce_rule(100.0, victim, ntp_rule())
+        service.withdraw_rule(200.0, rule.rule_id)
+        pkts = packets([
+            (150.0, 200, 123, 17, VIP),   # capable member, match -> drop
+            (150.0, 300, 123, 17, VIP),   # incapable member -> keep
+            (150.0, 200, 123, 6, VIP),    # TCP -> keep
+            (150.0, 200, 5353, 17, VIP),  # wrong port -> keep
+            (250.0, 200, 123, 17, VIP),   # after withdraw -> keep
+            (50.0, 200, 123, 17, VIP),    # before announce -> keep
+        ])
+        service.mark_dropped(pkts)
+        assert pkts["dropped"].tolist() == [True, False, False, False, False, False]
+
+    def test_mark_dropped_empty(self, setup):
+        _, _, service = setup
+        assert len(service.mark_dropped(packets_from_arrays({}))) == 0
+
+    def test_flowspec_vs_rtbh_collateral(self, setup):
+        """Side-by-side on the same traffic: the FlowSpec rule kills the
+        reflection flood and spares the HTTPS flow a /32 RTBH would."""
+        ixp, victim, service = setup
+        service = FlowSpecService(capable_asns=[200, 300])
+        rule = service.announce_rule(100.0, victim, ntp_rule())
+        pkts = packets(
+            [(150.0, 200, 123, 17, VIP)] * 50        # attack
+            + [(150.0, 300, 443, 6, VIP)] * 10       # legit HTTPS
+        )
+        service.mark_dropped(pkts)
+        attack = pkts["src_port"] == 123
+        assert pkts["dropped"][attack].all()
+        assert not pkts["dropped"][~attack].any()

@@ -1,0 +1,71 @@
+"""Tests for the synthetic PeeringDB."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.ixp import OrgType, PeeringDB, PeeringDBRecord
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        db = PeeringDB()
+        db.register(PeeringDBRecord(asn=100, name="Acme", org_type=OrgType.NSP))
+        assert db.get(100).name == "Acme"
+        assert db.org_type(100) is OrgType.NSP
+        assert 100 in db and len(db) == 1
+
+    def test_duplicate_rejected(self):
+        db = PeeringDB()
+        db.register(PeeringDBRecord(asn=100, name="A", org_type=OrgType.NSP))
+        with pytest.raises(ScenarioError):
+            db.register(PeeringDBRecord(asn=100, name="B", org_type=OrgType.CONTENT))
+
+    def test_unknown_default(self):
+        db = PeeringDB()
+        assert db.get(9) is None
+        assert db.org_type(9) is OrgType.UNKNOWN
+
+    def test_type_histogram(self):
+        db = PeeringDB()
+        db.register(PeeringDBRecord(asn=1, name="a", org_type=OrgType.CONTENT))
+        db.register(PeeringDBRecord(asn=2, name="b", org_type=OrgType.CONTENT))
+        hist = db.type_histogram([1, 2, 3])
+        assert hist[OrgType.CONTENT] == 2
+        assert hist[OrgType.UNKNOWN] == 1
+
+
+class TestSynthesize:
+    def test_coverage(self):
+        rng = np.random.default_rng(0)
+        db = PeeringDB.synthesize(range(1, 1001), rng, coverage=0.8)
+        assert 700 < len(db) < 900
+
+    def test_full_coverage(self):
+        rng = np.random.default_rng(0)
+        db = PeeringDB.synthesize(range(1, 101), rng, coverage=1.0)
+        assert len(db) == 100
+
+    def test_type_mix_respected(self):
+        rng = np.random.default_rng(1)
+        db = PeeringDB.synthesize(
+            range(1, 2001), rng, coverage=1.0,
+            type_mix={OrgType.CABLE_DSL_ISP: 0.9, OrgType.CONTENT: 0.1},
+        )
+        hist = db.type_histogram(range(1, 2001))
+        assert hist[OrgType.CABLE_DSL_ISP] > 5 * hist[OrgType.CONTENT]
+        assert OrgType.NSP not in hist
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ScenarioError):
+            PeeringDB.synthesize([1], np.random.default_rng(0), coverage=1.5)
+
+    def test_invalid_mix(self):
+        with pytest.raises(ScenarioError):
+            PeeringDB.synthesize([1], np.random.default_rng(0),
+                                 type_mix={OrgType.NSP: 0.0}, coverage=1.0)
+
+    def test_reproducible(self):
+        a = PeeringDB.synthesize(range(1, 200), np.random.default_rng(5))
+        b = PeeringDB.synthesize(range(1, 200), np.random.default_rng(5))
+        assert {r.asn: r.org_type for r in a} == {r.asn: r.org_type for r in b}

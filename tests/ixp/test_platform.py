@@ -1,0 +1,94 @@
+"""Integration tests for the IXP platform facade and blackholing service."""
+
+import pytest
+
+from repro.bgp import BlackholeWhitelistPolicy, MaxPrefixLengthPolicy
+from repro.dataplane import BLACKHOLE_MAC
+from repro.errors import BGPError, ScenarioError
+from repro.ixp import IXP
+from repro.net import IPv4Address, IPv4Prefix
+
+VICTIM_SPACE = IPv4Prefix("203.0.113.0/24")
+VICTIM_HOST = IPv4Prefix("203.0.113.7/32")
+
+
+@pytest.fixture
+def ixp():
+    ixp = IXP()
+    ixp.add_member(100, originated=[VICTIM_SPACE])
+    ixp.add_member(200, policy=BlackholeWhitelistPolicy(),
+                   originated=[IPv4Prefix("198.51.100.0/24")])
+    ixp.add_member(300, policy=MaxPrefixLengthPolicy())
+    return ixp
+
+
+class TestMembership:
+    def test_members_listed(self, ixp):
+        assert ixp.member_asns == [100, 200, 300]
+        assert len(ixp) == 3
+        assert ixp.member(100).originates(VICTIM_HOST)
+
+    def test_duplicate_member_rejected(self, ixp):
+        with pytest.raises(ScenarioError):
+            ixp.add_member(100)
+
+    def test_unknown_member_lookup(self, ixp):
+        with pytest.raises(ScenarioError):
+            ixp.member(999)
+
+    def test_unique_addressing(self, ixp):
+        macs = {m.router_mac for m in ixp.members()}
+        ips = {m.router_ip for m in ixp.members()}
+        assert len(macs) == 3 and len(ips) == 3
+
+    def test_owner_lookup(self, ixp):
+        assert ixp.owner_of(IPv4Address("203.0.113.5")).asn == 100
+        assert ixp.owner_of(IPv4Address("8.8.8.8")) is None
+
+    def test_regular_routes_announced(self, ixp):
+        # Peers see each other's regular routes in their Loc-RIBs.
+        route = ixp.member(200).peer.loc_rib.lookup(IPv4Address("203.0.113.5"))
+        assert route is not None and route.peer_asn == 100
+
+
+class TestBlackholing:
+    def test_announce_and_drop_path(self, ixp):
+        ixp.blackholing.announce_blackhole(100.0, ixp.member(100), VICTIM_HOST)
+        mac, dropped = ixp.fabric.forward(ixp.member(200).peer, IPv4Address("203.0.113.7"))
+        assert dropped and mac == BLACKHOLE_MAC
+        # the default-config peer keeps forwarding
+        mac, dropped = ixp.fabric.forward(ixp.member(300).peer, IPv4Address("203.0.113.7"))
+        assert not dropped and mac == ixp.member(100).router_mac
+
+    def test_withdraw_restores_forwarding(self, ixp):
+        ixp.blackholing.announce_blackhole(100.0, ixp.member(100), VICTIM_HOST)
+        ixp.blackholing.withdraw_blackhole(200.0, ixp.member(100), VICTIM_HOST)
+        _, dropped = ixp.fabric.forward(ixp.member(200).peer, IPv4Address("203.0.113.7"))
+        assert not dropped
+        assert ixp.blackholing.active_blackholes() == set()
+
+    def test_ownership_enforced(self, ixp):
+        foreign = IPv4Prefix("8.8.8.8/32")
+        with pytest.raises(BGPError):
+            ixp.blackholing.announce_blackhole(0.0, ixp.member(100), foreign)
+
+    def test_ownership_enforcement_can_be_disabled(self):
+        ixp = IXP(enforce_blackhole_ownership=False)
+        member = ixp.add_member(100)
+        update = ixp.blackholing.announce_blackhole(0.0, member, IPv4Prefix("8.8.8.8/32"))
+        assert update.is_blackhole
+
+    def test_targeted_blackhole(self, ixp):
+        ixp.blackholing.announce_blackhole(
+            100.0, ixp.member(100), VICTIM_HOST, targets=[200]
+        )
+        assert VICTIM_HOST in ixp.member(200).peer.visible_blackholes()
+        assert VICTIM_HOST not in ixp.member(300).peer.visible_blackholes()
+
+    def test_timeline_records_acceptance(self, ixp):
+        ixp.blackholing.announce_blackhole(100.0, ixp.member(100), VICTIM_HOST)
+        ixp.blackholing.withdraw_blackhole(250.0, ixp.member(100), VICTIM_HOST)
+        timeline = ixp.finalize_timeline(1000.0)
+        accepted = timeline.accepted_intervals(200, VICTIM_HOST)
+        assert accepted.intervals == [(100.0, 250.0)]
+        assert timeline.announced_intervals(VICTIM_HOST).intervals == [(100.0, 250.0)]

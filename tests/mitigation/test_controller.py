@@ -1,0 +1,91 @@
+"""Tests for the RTBH announce/withdraw behaviour generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.mitigation import (
+    BlackholeWindow,
+    RTBHControllerConfig,
+    ddos_reaction_windows,
+    manual_window,
+    squatting_window,
+    zombie_window,
+)
+
+
+class TestBlackholeWindow:
+    def test_duration(self):
+        assert BlackholeWindow(10.0, 40.0).duration == 30.0
+        assert BlackholeWindow(10.0, None).duration is None
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ScenarioError):
+            BlackholeWindow(10.0, 5.0)
+        with pytest.raises(ScenarioError):
+            BlackholeWindow(10.0, 10.0)
+
+
+class TestDdosReaction:
+    def test_windows_ordered_and_disjoint(self):
+        rng = np.random.default_rng(0)
+        windows = ddos_reaction_windows(rng, 1000.0, 1000.0 + 4 * 3600.0)
+        assert len(windows) >= 2
+        for a, b in zip(windows, windows[1:]):
+            assert a.withdraw_time < b.announce_time
+
+    def test_first_announce_within_reaction_delay(self):
+        rng = np.random.default_rng(1)
+        cfg = RTBHControllerConfig(reaction_delay=(30.0, 600.0))
+        for _ in range(20):
+            windows = ddos_reaction_windows(rng, 5000.0, 9000.0, cfg)
+            assert 5030.0 <= windows[0].announce_time <= 5600.0
+
+    def test_mitigation_outlives_attack_but_not_by_much(self):
+        rng = np.random.default_rng(2)
+        cfg = RTBHControllerConfig(hold_time=(300.0, 1800.0), probe_gap=(60.0, 420.0))
+        end = 20_000.0
+        for _ in range(20):
+            windows = ddos_reaction_windows(rng, 10_000.0, end, cfg)
+            last = windows[-1].withdraw_time
+            assert last is not None
+            assert last <= end + 1800.0 + 1e-6
+
+    def test_short_attack_single_window(self):
+        rng = np.random.default_rng(3)
+        cfg = RTBHControllerConfig(reaction_delay=(30.0, 60.0), hold_time=(1800.0, 1800.0))
+        windows = ddos_reaction_windows(rng, 0.0, 300.0, cfg)
+        assert len(windows) == 1
+
+    def test_max_windows_cap(self):
+        rng = np.random.default_rng(4)
+        cfg = RTBHControllerConfig(hold_time=(60.0, 60.0), probe_gap=(10.0, 10.0),
+                                   max_windows=5)
+        windows = ddos_reaction_windows(rng, 0.0, 1e9, cfg)
+        assert len(windows) == 5
+
+    def test_invalid_attack_interval(self):
+        with pytest.raises(ScenarioError):
+            ddos_reaction_windows(np.random.default_rng(0), 100.0, 100.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ScenarioError):
+            RTBHControllerConfig(reaction_delay=(10.0, 5.0))
+        with pytest.raises(ScenarioError):
+            RTBHControllerConfig(max_windows=0)
+
+
+class TestOtherPatterns:
+    def test_manual_window_is_late_and_long(self):
+        rng = np.random.default_rng(5)
+        w = manual_window(rng, attack_start=1000.0)
+        assert w.announce_time >= 1000.0 + 1800.0
+        assert w.duration >= 21_600.0
+
+    def test_zombie_never_withdrawn(self):
+        assert zombie_window(42.0).withdraw_time is None
+
+    def test_squatting_window_months_long(self):
+        rng = np.random.default_rng(6)
+        w = squatting_window(rng, start=0.0)
+        assert w.duration >= 30 * 86_400.0

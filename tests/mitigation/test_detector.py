@@ -1,0 +1,68 @@
+"""Tests for the volumetric detector."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation import DetectorConfig, VolumetricDetector
+
+
+def traffic(rng, rate, t0, t1):
+    n = rng.poisson(rate * (t1 - t0))
+    return rng.uniform(t0, t1, n)
+
+
+class TestVolumetricDetector:
+    def test_quiet_stream_no_alarm(self):
+        rng = np.random.default_rng(0)
+        det = VolumetricDetector(DetectorConfig(min_rate=5.0))
+        times = traffic(rng, 1.0, 0, 7200)
+        assert det.detect(times, 0, 7200) == []
+
+    def test_attack_detected_with_bounded_latency(self):
+        rng = np.random.default_rng(1)
+        det = VolumetricDetector(DetectorConfig(bin_width=60.0, min_rate=5.0))
+        base = traffic(rng, 1.0, 0, 7200)
+        attack = traffic(rng, 200.0, 3600, 5400)
+        intervals = det.detect(np.r_[base, attack], 0, 7200)
+        assert len(intervals) == 1
+        detected_at, cleared_at = intervals[0]
+        assert 3600 < detected_at <= 3720  # within ~1 bin
+        assert 5400 <= cleared_at <= 5800
+
+    def test_hold_bins_bridge_short_dips(self):
+        rng = np.random.default_rng(2)
+        det = VolumetricDetector(DetectorConfig(bin_width=60.0, min_rate=5.0, hold_bins=3))
+        part1 = traffic(rng, 200.0, 3600, 4200)
+        part2 = traffic(rng, 200.0, 4320, 4900)  # 2-bin dip
+        intervals = det.detect(np.r_[part1, part2], 0, 7200)
+        assert len(intervals) == 1
+
+    def test_attack_running_at_end_still_reported(self):
+        rng = np.random.default_rng(3)
+        det = VolumetricDetector(DetectorConfig(min_rate=5.0))
+        attack = traffic(rng, 100.0, 3600, 7200)
+        intervals = det.detect(attack, 0, 7200)
+        assert len(intervals) == 1
+        assert intervals[0][1] == pytest.approx(7200, abs=60)
+
+    def test_rate_series_shape(self):
+        det = VolumetricDetector(DetectorConfig(bin_width=10.0))
+        starts, rates = det.rate_series(np.array([5.0, 15.0, 15.5]), 0, 30)
+        assert len(starts) == len(rates) == 3
+        assert rates.tolist() == [0.1, 0.2, 0.0]
+
+    def test_empty_stream(self):
+        det = VolumetricDetector()
+        assert det.detect(np.array([]), 0, 600) == []
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            VolumetricDetector().rate_series(np.array([]), 10, 10)
+
+    @pytest.mark.parametrize("kw", [
+        {"bin_width": 0}, {"factor": 1.0}, {"min_rate": -1},
+        {"baseline_span": 0}, {"hold_bins": -1},
+    ])
+    def test_config_validation(self, kw):
+        with pytest.raises(ValueError):
+            DetectorConfig(**kw)

@@ -1,0 +1,139 @@
+"""Tests for the fine-grained filtering (FlowSpec/ACL-style) extension."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import FlowLabel
+from repro.dataplane.packet import packets_from_arrays
+from repro.errors import ScenarioError
+from repro.mitigation import (
+    FilterAction,
+    FilterChain,
+    FilterRule,
+    amplification_filter,
+    rtbh_filter,
+    score_mitigation,
+)
+from repro.net import IPv4Address, IPv4Prefix
+
+VICTIM = IPv4Prefix("203.0.113.7/32")
+VIP = int(IPv4Address("203.0.113.7"))
+
+
+def packets(rows):
+    """rows: (src_ip, dst_ip, proto, sport, dport, label)"""
+    s, d, p, sp, dp, lb = zip(*rows)
+    return packets_from_arrays({
+        "time": np.arange(len(rows), dtype=np.float64),
+        "src_ip": np.array(s, dtype=np.uint32),
+        "dst_ip": np.array(d, dtype=np.uint32),
+        "protocol": np.array(p, dtype=np.uint8),
+        "src_port": np.array(sp, dtype=np.uint16),
+        "dst_port": np.array(dp, dtype=np.uint16),
+        "label": np.array(lb, dtype=np.uint8),
+    })
+
+
+ATTACK = int(FlowLabel.ATTACK)
+LEGIT = int(FlowLabel.LEGIT)
+
+
+class TestFilterRule:
+    def test_protocol_and_port_match(self):
+        pkts = packets([
+            (1, VIP, 17, 123, 5555, ATTACK),
+            (2, VIP, 6, 123, 5555, LEGIT),   # TCP: no match
+            (3, VIP, 17, 124, 5555, LEGIT),  # wrong port
+        ])
+        rule = FilterRule(protocol=17, src_ports=frozenset({123}))
+        assert rule.matches(pkts).tolist() == [True, False, False]
+
+    def test_prefix_match(self):
+        pkts = packets([
+            (1, VIP, 17, 1, 1, ATTACK),
+            (1, VIP + 1, 17, 1, 1, LEGIT),
+        ])
+        rule = FilterRule(dst_prefix=VICTIM)
+        assert rule.matches(pkts).tolist() == [True, False]
+
+    def test_port_ranges(self):
+        pkts = packets([
+            (1, VIP, 17, 100, 50_000, 0),
+            (1, VIP, 17, 100, 70, 0),
+        ])
+        rule = FilterRule(dst_port_range=(49_152, 65_535))
+        assert rule.matches(pkts).tolist() == [True, False]
+
+    def test_invalid_range(self):
+        with pytest.raises(ScenarioError):
+            FilterRule(src_port_range=(5, 1))
+        with pytest.raises(ScenarioError):
+            FilterRule(dst_port_range=(0, 70_000))
+
+    def test_empty_rule_matches_all(self):
+        pkts = packets([(1, 2, 6, 3, 4, 0)])
+        assert FilterRule().matches(pkts).all()
+
+
+class TestFilterChain:
+    def test_first_match_wins(self):
+        pkts = packets([(1, VIP, 17, 123, 5555, ATTACK)])
+        chain = FilterChain(rules=[
+            FilterRule(action=FilterAction.ACCEPT, protocol=17),
+            FilterRule(action=FilterAction.DROP),  # never reached for UDP
+        ])
+        assert not chain.dropped(pkts).any()
+
+    def test_default_action(self):
+        pkts = packets([(1, VIP, 6, 1, 2, 0)])
+        deny_all = FilterChain(rules=[], default=FilterAction.DROP)
+        assert deny_all.dropped(pkts).all()
+        allow_all = FilterChain(rules=[])
+        assert not allow_all.dropped(pkts).any()
+
+    def test_amplification_filter_semantics(self):
+        pkts = packets([
+            (1, VIP, 17, 123, 5555, ATTACK),       # NTP reflection: drop
+            (2, VIP, 17, 11211, 5555, ATTACK),     # memcached: drop
+            (3, VIP, 6, 123, 5555, LEGIT),         # TCP/123: keep
+            (4, VIP, 17, 53000, 443, LEGIT),       # plain UDP: keep
+            (5, VIP + 1, 17, 123, 5555, LEGIT),    # other host: keep
+        ])
+        chain = amplification_filter(VICTIM)
+        assert chain.dropped(pkts).tolist() == [True, True, False, False, False]
+
+    def test_rtbh_filter_drops_everything_to_victim(self):
+        pkts = packets([
+            (1, VIP, 6, 1, 443, LEGIT),
+            (1, VIP + 1, 6, 1, 443, LEGIT),
+        ])
+        assert rtbh_filter(VICTIM).dropped(pkts).tolist() == [True, False]
+
+
+class TestScoring:
+    def test_fine_grained_beats_rtbh_on_collateral(self):
+        pkts = packets(
+            [(i, VIP, 17, 123, 5555, ATTACK) for i in range(90)]
+            + [(i, VIP, 6, 50_000, 443, LEGIT) for i in range(10)]
+        )
+        fine = score_mitigation(amplification_filter(VICTIM), pkts)
+        coarse = score_mitigation(rtbh_filter(VICTIM), pkts)
+        assert fine.attack_coverage == 1.0
+        assert fine.collateral_rate == 0.0
+        assert coarse.attack_coverage == 1.0
+        assert coarse.collateral_rate == 1.0
+
+    def test_scores_on_empty_classes(self):
+        pkts = packets([(1, VIP, 17, 123, 1, ATTACK)])
+        score = score_mitigation(amplification_filter(VICTIM), pkts)
+        assert score.legit_packets == 0 and score.collateral_rate == 0.0
+
+    def test_on_generated_scenario(self, tiny_result):
+        """On the full synthetic corpus: port filters kill most attack
+        traffic at vastly lower collateral than blanket dropping."""
+        pkts = tiny_result.data.packets
+        fine = score_mitigation(amplification_filter(IPv4Prefix(0, 0)), pkts)
+        coarse = score_mitigation(rtbh_filter(IPv4Prefix(0, 0)), pkts)
+        assert fine.attack_coverage > 0.75   # ~92% of attacks are amplification
+        assert fine.collateral_rate < 0.05
+        assert coarse.collateral_rate == 1.0

@@ -1,0 +1,50 @@
+"""Unit tests for MAC addresses."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net import MACAddress
+
+
+class TestMACAddress:
+    def test_parse_colon_form(self):
+        assert int(MACAddress("aa:bb:cc:00:11:22")) == 0xAABBCC001122
+
+    def test_parse_dash_form(self):
+        assert MACAddress("AA-BB-CC-00-11-22") == MACAddress("aa:bb:cc:00:11:22")
+
+    def test_parse_bare_hex(self):
+        assert MACAddress("aabbcc001122") == MACAddress(0xAABBCC001122)
+
+    def test_copy_constructor(self):
+        m = MACAddress(42)
+        assert MACAddress(m) == m
+
+    @pytest.mark.parametrize("bad", ["aa:bb:cc:00:11", "zz:bb:cc:00:11:22", "aa:bb-cc:00:11:22", ""])
+    def test_rejects_bad_strings(self, bad):
+        with pytest.raises(AddressError):
+            MACAddress(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 2**48])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(AddressError):
+            MACAddress(bad)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(AddressError):
+            MACAddress(None)
+
+    def test_locally_administered_bit(self):
+        assert MACAddress("02:00:00:00:00:01").is_locally_administered
+        assert not MACAddress("00:00:00:00:00:01").is_locally_administered
+
+    def test_ordering_and_hash(self):
+        a, b = MACAddress(1), MACAddress(2)
+        assert a < b
+        assert len({a, MACAddress(1)}) == 1
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_string_roundtrip(self, value):
+        assert int(MACAddress(str(MACAddress(value)))) == value

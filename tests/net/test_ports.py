@@ -1,0 +1,61 @@
+"""Unit tests for the port/protocol registries."""
+
+from repro.net import (
+    AMPLIFICATION_PORTS,
+    AMPLIFICATION_PROTOCOLS,
+    IPProtocol,
+    amplification_port_numbers,
+    is_amplification_port,
+)
+from repro.net.ports import EPHEMERAL_PORT_RANGE, MAX_PORT, amplification_protocol_for_port
+
+
+class TestAmplificationRegistry:
+    def test_table3_footnote_is_complete(self):
+        # The 18 entries of the Table 3 footnote (incl. Fragmentation/0).
+        assert len(AMPLIFICATION_PROTOCOLS) == 18
+        expected = {0, 17, 19, 53, 69, 123, 138, 161, 389, 520, 1900,
+                    3478, 3659, 5060, 6881, 11211, 27005, 28960}
+        assert AMPLIFICATION_PORTS == expected
+
+    def test_ports_unique(self):
+        ports = [p.port for p in AMPLIFICATION_PROTOCOLS]
+        assert len(ports) == len(set(ports))
+
+    def test_udp_only_matching(self):
+        assert is_amplification_port(123)
+        assert is_amplification_port(123, IPProtocol.UDP)
+        assert not is_amplification_port(123, IPProtocol.TCP)
+        assert not is_amplification_port(80)
+
+    def test_lookup_by_port(self):
+        assert amplification_protocol_for_port(11211).name == "Memcached"
+        assert amplification_protocol_for_port(81) is None
+
+    def test_port_numbers_accessor_is_frozen(self):
+        assert amplification_port_numbers() is AMPLIFICATION_PORTS
+
+    def test_factors_positive(self):
+        assert all(p.amplification_factor > 0 for p in AMPLIFICATION_PROTOCOLS)
+
+    def test_str_form(self):
+        assert str(amplification_protocol_for_port(123)) == "NTP/123"
+
+
+class TestProtocolEnum:
+    def test_bucketing_unknown(self):
+        assert IPProtocol.from_number(47) is IPProtocol.OTHER
+
+    def test_known_numbers(self):
+        assert IPProtocol.from_number(6) is IPProtocol.TCP
+        assert IPProtocol.from_number(17) is IPProtocol.UDP
+        assert IPProtocol.from_number(1) is IPProtocol.ICMP
+
+    def test_labels(self):
+        assert IPProtocol.UDP.label == "UDP"
+
+
+class TestPortConstants:
+    def test_ephemeral_range_sane(self):
+        low, high = EPHEMERAL_PORT_RANGE
+        assert 1024 <= low < high <= MAX_PORT

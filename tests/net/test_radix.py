@@ -1,0 +1,155 @@
+"""Unit and property tests for the radix trie (longest-prefix matching)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import IPv4Address, IPv4Prefix, RadixTree
+
+prefixes = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: IPv4Prefix(t[0], t[1]))
+
+
+class TestRadixBasics:
+    def test_empty_tree(self):
+        tree = RadixTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.lookup(IPv4Address("1.2.3.4")) is None
+
+    def test_insert_and_exact_get(self):
+        tree = RadixTree()
+        p = IPv4Prefix("10.0.0.0/8")
+        tree.insert(p, "v")
+        assert tree.get(p) == "v"
+        assert p in tree
+        assert tree.get(IPv4Prefix("10.0.0.0/9")) is None
+
+    def test_insert_replaces(self):
+        tree = RadixTree()
+        p = IPv4Prefix("10.0.0.0/8")
+        tree.insert(p, "a")
+        tree.insert(p, "b")
+        assert tree.get(p) == "b"
+        assert len(tree) == 1
+
+    def test_longest_prefix_match(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix("10.0.0.0/8"), "coarse")
+        tree.insert(IPv4Prefix("10.1.0.0/16"), "fine")
+        tree.insert(IPv4Prefix("10.1.2.3/32"), "host")
+        assert tree.lookup(IPv4Address("10.1.2.3"))[1] == "host"
+        assert tree.lookup(IPv4Address("10.1.9.9"))[1] == "fine"
+        assert tree.lookup(IPv4Address("10.9.9.9"))[1] == "coarse"
+        assert tree.lookup(IPv4Address("11.0.0.0")) is None
+
+    def test_lookup_returns_matched_prefix(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix("10.1.0.0/16"), 1)
+        prefix, _ = tree.lookup(IPv4Address("10.1.2.3"))
+        assert prefix == IPv4Prefix("10.1.0.0/16")
+
+    def test_default_route(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix(0, 0), "default")
+        assert tree.lookup(IPv4Address("203.0.113.9"))[1] == "default"
+
+    def test_lookup_all_order(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix(0, 0), 0)
+        tree.insert(IPv4Prefix("10.0.0.0/8"), 8)
+        tree.insert(IPv4Prefix("10.1.2.3/32"), 32)
+        values = [v for _, v in tree.lookup_all(IPv4Address("10.1.2.3"))]
+        assert values == [0, 8, 32]
+
+    def test_remove(self):
+        tree = RadixTree()
+        p = IPv4Prefix("10.0.0.0/8")
+        tree.insert(p, "v")
+        assert tree.remove(p)
+        assert not tree.remove(p)
+        assert len(tree) == 0
+        assert tree.lookup(IPv4Address("10.0.0.1")) is None
+
+    def test_remove_keeps_more_specific(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix("10.0.0.0/8"), "coarse")
+        tree.insert(IPv4Prefix("10.1.0.0/16"), "fine")
+        tree.remove(IPv4Prefix("10.0.0.0/8"))
+        assert tree.lookup(IPv4Address("10.1.0.1"))[1] == "fine"
+        assert tree.lookup(IPv4Address("10.2.0.1")) is None
+
+    def test_remove_prunes_but_preserves_siblings(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix("10.0.0.0/9"), "left")
+        tree.insert(IPv4Prefix("10.128.0.0/9"), "right")
+        tree.remove(IPv4Prefix("10.0.0.0/9"))
+        assert tree.lookup(IPv4Address("10.200.0.1"))[1] == "right"
+
+    def test_covered(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix("10.0.0.0/8"), 1)
+        tree.insert(IPv4Prefix("10.1.0.0/16"), 2)
+        tree.insert(IPv4Prefix("11.0.0.0/8"), 3)
+        covered = dict(tree.covered(IPv4Prefix("10.0.0.0/8")))
+        assert covered == {IPv4Prefix("10.0.0.0/8"): 1, IPv4Prefix("10.1.0.0/16"): 2}
+
+    def test_items_sorted_bit_order(self):
+        tree = RadixTree()
+        entries = [IPv4Prefix("192.0.2.0/24"), IPv4Prefix("10.0.0.0/8"), IPv4Prefix("10.0.0.0/16")]
+        for i, p in enumerate(entries):
+            tree.insert(p, i)
+        listed = [p for p, _ in tree.items()]
+        assert listed == sorted(entries)
+
+    def test_clear(self):
+        tree = RadixTree()
+        tree.insert(IPv4Prefix("10.0.0.0/8"), 1)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.lookup(IPv4Address("10.0.0.1")) is None
+
+
+class TestRadixProperties:
+    @settings(max_examples=50)
+    @given(st.lists(prefixes, min_size=1, max_size=40, unique=True))
+    def test_size_tracks_unique_inserts(self, prefix_list):
+        tree = RadixTree()
+        for i, p in enumerate(prefix_list):
+            tree.insert(p, i)
+        assert len(tree) == len(prefix_list)
+        assert sorted(tree.keys()) == sorted(prefix_list)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(prefixes, min_size=1, max_size=30, unique=True),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_lookup_matches_linear_scan(self, prefix_list, addr):
+        tree = RadixTree()
+        for i, p in enumerate(prefix_list):
+            tree.insert(p, i)
+        expected = None
+        for i, p in enumerate(prefix_list):
+            if addr in p and (expected is None or p.length > prefix_list[expected].length):
+                expected = i
+        result = tree.lookup(addr)
+        if expected is None:
+            assert result is None
+        else:
+            assert result[1] == expected
+
+    @settings(max_examples=30)
+    @given(st.lists(prefixes, min_size=2, max_size=30, unique=True), st.data())
+    def test_remove_then_lookup_consistent(self, prefix_list, data):
+        tree = RadixTree()
+        for i, p in enumerate(prefix_list):
+            tree.insert(p, i)
+        victim = data.draw(st.sampled_from(prefix_list))
+        assert tree.remove(victim)
+        assert victim not in tree
+        assert len(tree) == len(prefix_list) - 1
+        survivors = [p for p in prefix_list if p != victim]
+        assert sorted(tree.keys()) == sorted(survivors)

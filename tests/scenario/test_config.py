@@ -1,0 +1,71 @@
+"""Tests for scenario configuration and scaling."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenario import ScenarioConfig
+from repro.scenario.config import EventMix, PolicyMix, VectorMix
+
+
+class TestScaling:
+    def test_full_scale_defaults(self):
+        cfg = ScenarioConfig()
+        assert cfg.num_members == 830
+        assert cfg.num_events == 34_000
+        assert cfg.duration_days == 104.0
+        assert cfg.duration == 104.0 * 86_400.0
+
+    def test_linear_scaling(self):
+        cfg = ScenarioConfig.paper(scale=0.1)
+        assert cfg.num_members == 83
+        assert cfg.num_events == 3_400
+        assert cfg.num_victim_origin_asns == 40  # floor (0.1 × 170 = 17 < 40)
+        assert ScenarioConfig.paper(scale=0.5).num_victim_origin_asns == 85
+
+    def test_floors_respected(self):
+        cfg = ScenarioConfig.paper(scale=0.001)
+        assert cfg.num_members >= 20
+        assert cfg.num_announcer_members >= 5
+        assert cfg.num_events >= 40
+
+    def test_fractions_not_scaled(self):
+        a, b = ScenarioConfig.paper(scale=1.0), ScenarioConfig.paper(scale=0.05)
+        assert a.event_mix == b.event_mix
+        assert a.policy_mix == b.policy_mix
+
+    def test_overrides_win(self):
+        cfg = ScenarioConfig.paper(scale=0.1, num_events=99)
+        assert cfg.num_events == 99
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, 1.5])
+    def test_invalid_scale(self, scale):
+        with pytest.raises(ScenarioError):
+            ScenarioConfig.paper(scale=scale)
+
+
+class TestValidation:
+    def test_policy_mix_must_sum_to_one(self):
+        with pytest.raises(ScenarioError):
+            PolicyMix(whitelist_32=0.9, default_le24=0.9, partial=0.0,
+                      full_blackhole=0.0, no_blackhole=0.0)
+
+    def test_event_mix_must_sum_to_one(self):
+        with pytest.raises(ScenarioError):
+            EventMix(ddos_visible=0.5, ddos_remote=0.5, silent=0.5,
+                     zombie=0.0, near_silent=0.0)
+
+    def test_vector_mix_must_sum_to_one(self):
+        with pytest.raises(ScenarioError):
+            VectorMix(amplification=0.5, carpet=0.1, syn_flood=0.1)
+
+    def test_short_duration_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioConfig(duration_days=1.0)
+
+    def test_announcers_bounded_by_members(self):
+        with pytest.raises(ScenarioError):
+            ScenarioConfig(num_members=10, num_announcer_members=20)
+
+    def test_prefix_weights_must_sum(self):
+        with pytest.raises(ScenarioError):
+            ScenarioConfig(prefix_length_weights=((32, 0.5),))

@@ -1,0 +1,179 @@
+"""Tests for the paper plan builder."""
+
+import numpy as np
+import pytest
+
+from repro.ixp.peeringdb import OrgType
+from repro.scenario import (
+    AttackVector,
+    EventCategory,
+    HostRole,
+    ScenarioConfig,
+    build_paper_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_paper_plan(ScenarioConfig.paper(scale=0.02, duration_days=30.0, seed=3))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ScenarioConfig.paper(scale=0.02, duration_days=30.0, seed=3)
+
+
+class TestPopulation:
+    def test_member_count(self, plan, config):
+        assert len(plan.members) == config.num_members
+        assert len({m.asn for m in plan.members}) == config.num_members
+
+    def test_announcer_count(self, plan, config):
+        assert sum(m.is_announcer for m in plan.members) == config.num_announcer_members
+
+    def test_member_prefixes_disjoint(self, plan):
+        blocks = [m.own_prefix for m in plan.members]
+        for a, b in zip(blocks, blocks[1:]):
+            assert not a.contains(b) and not b.contains(a)
+
+    def test_origin_blocks_disjoint_and_announced(self, plan):
+        announcer_asns = {m.asn for m in plan.members if m.is_announcer}
+        for origin in plan.origin_asns:
+            assert origin.announcer_asn in announcer_asns
+            assert origin.block.length == 22
+
+    def test_victims_inside_their_origin_block(self, plan):
+        blocks = {o.asn: o.block for o in plan.origin_asns}
+        for victim in plan.victims:
+            assert victim.ip in blocks[victim.origin_asn]
+
+    def test_victim_ips_unique(self, plan):
+        ips = [v.ip for v in plan.victims]
+        assert len(ips) == len(set(ips))
+
+    def test_roles_mixed(self, plan, config):
+        roles = [v.role for v in plan.victims]
+        n = len(roles)
+        share_traffic = sum(r is not HostRole.SILENT for r in roles) / n
+        assert abs(share_traffic - config.victims_with_traffic_fraction) < 0.15
+        clients = sum(r is HostRole.CLIENT for r in roles)
+        servers = sum(r is HostRole.SERVER for r in roles)
+        assert clients > 2 * servers
+
+    def test_servers_have_services(self, plan):
+        for victim in plan.victims:
+            if victim.role is HostRole.SERVER:
+                assert victim.services
+            else:
+                assert victim.services == ()
+
+    def test_client_heavy_origins_are_cable_dsl(self):
+        # needs a statistically meaningful origin population
+        big = build_paper_plan(ScenarioConfig.paper(
+            scale=0.02, duration_days=30.0, seed=3,
+            num_victim_origin_asns=120, num_victim_hosts=1_000,
+        ))
+        client_asns = {v.origin_asn for v in big.victims if v.role is HostRole.CLIENT}
+        types = [o.org_type for o in big.origin_asns if o.asn in client_asns]
+        assert types.count(OrgType.CABLE_DSL_ISP) > 2 * types.count(OrgType.CONTENT)
+
+
+class TestEvents:
+    def test_event_count(self, plan, config):
+        extra = config.squatting_prefixes + config.targeted_experiment_events
+        n_visible = round(config.num_events * config.event_mix.ddos_visible)
+        bilateral = round(n_visible * config.bilateral_event_fraction)
+        assert len(plan.events) == pytest.approx(config.num_events + extra + bilateral, abs=3)
+
+    def test_category_mix(self, plan, config):
+        n = config.num_events
+        for category, expected in [
+            (EventCategory.DDOS_VISIBLE, config.event_mix.ddos_visible),
+            (EventCategory.DDOS_REMOTE, config.event_mix.ddos_remote),
+            (EventCategory.ZOMBIE, config.event_mix.zombie),
+        ]:
+            got = len(plan.events_of(category)) / n
+            assert got == pytest.approx(expected, abs=0.02)
+
+    def test_events_sorted_by_first_announce(self, plan):
+        times = [e.first_announce for e in plan.events]
+        assert times == sorted(times)
+
+    def test_visible_events_have_attack_and_vector(self, plan):
+        for event in plan.events_of(EventCategory.DDOS_VISIBLE):
+            assert event.has_attack
+            assert event.vector is not AttackVector.NONE
+            assert event.attack_start < event.first_announce
+            assert event.attack_pps > 0
+
+    def test_reaction_delay_mostly_fast(self, plan):
+        delays = [e.first_announce - e.attack_start
+                  for e in plan.events_of(EventCategory.DDOS_VISIBLE)]
+        fast = sum(d <= 600.0 for d in delays) / len(delays)
+        assert fast > 0.6
+        assert max(delays) <= 3_600.0
+
+    def test_amplification_dominates(self, plan):
+        visible = plan.events_of(EventCategory.DDOS_VISIBLE)
+        amp = sum(e.vector is AttackVector.AMPLIFICATION for e in visible)
+        assert amp / len(visible) > 0.8
+
+    def test_amplification_events_have_protocols(self, plan):
+        for event in plan.events_of(EventCategory.DDOS_VISIBLE):
+            if event.vector is AttackVector.AMPLIFICATION:
+                assert 1 <= len(event.protocols) <= 5
+            else:
+                assert event.protocols == ()
+
+    def test_zombies_never_withdrawn(self, plan):
+        for event in plan.events_of(EventCategory.ZOMBIE):
+            assert len(event.windows) == 1
+            assert event.windows[0].withdraw_time is None
+
+    def test_squatting_prefixes_short_lengths(self, plan, config):
+        squatting = plan.events_of(EventCategory.SQUATTING)
+        assert len(squatting) == config.squatting_prefixes
+        assert all(e.prefix.length <= 24 for e in squatting)
+        asns = {e.origin_asn for e in squatting}
+        assert len(asns) <= config.squatting_asns
+
+    def test_targeted_events_early_and_restricted(self, plan, config):
+        targeted = plan.events_of(EventCategory.TARGETED_EXPERIMENT)
+        assert len(targeted) == config.targeted_experiment_events
+        member_count = len(plan.members)
+        for event in targeted:
+            assert event.first_announce <= 20 * 86_400.0
+            assert event.targets is not None
+            assert 0 < len(event.targets) < member_count
+
+    def test_event_prefix_contains_victim(self, plan):
+        for event in plan.events:
+            if event.victim_ip is not None:
+                assert event.victim_ip in event.prefix
+
+    def test_windows_inside_period(self, plan, config):
+        for event in plan.events:
+            for window in event.windows:
+                assert 0 <= window.announce_time <= config.duration
+                if window.withdraw_time is not None:
+                    assert window.withdraw_time <= config.duration + 7 * 86_400.0
+
+    def test_deterministic(self, config):
+        a = build_paper_plan(config)
+        b = build_paper_plan(config)
+        assert [e.prefix for e in a.events] == [e.prefix for e in b.events]
+        assert [e.first_announce for e in a.events] == [e.first_announce for e in b.events]
+
+
+class TestAmplifierPool:
+    def test_pool_size(self, plan, config):
+        # the 3 broad-coverage ASes host max(per_asn, 6) reflectors each
+        per_asn = config.amplifiers_per_origin_asn
+        expected = ((config.num_amplifier_origin_asns - 3) * per_asn
+                    + 3 * max(per_asn, 6))
+        assert len(plan.amplifier_pool) == expected
+
+    def test_ingress_are_members(self, plan):
+        member_asns = set(plan.member_asns())
+        assert all(a.ingress_asn in member_asns
+                   for a in plan.amplifier_pool.amplifiers)

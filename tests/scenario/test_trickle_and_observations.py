@@ -1,0 +1,57 @@
+"""Tests for the silent-victim trickle traffic and the attached external
+observation feed."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import FlowLabel
+from repro.scenario import EventCategory, HostRole, ScenarioConfig, run_scenario
+from repro.telescope import ObservationSource
+
+
+class TestSilentTrickle:
+    def test_trickle_mostly_below_sampling_floor(self, tiny_result):
+        """Silent victims carry real traffic, but at 1:10,000 most of them
+        never produce a sample (the §5.2 visibility artefact)."""
+        silent_ips = np.array([v.ip for v in tiny_result.plan.victims
+                               if v.role is HostRole.SILENT], dtype=np.uint32)
+        packets = tiny_result.data.packets
+        legit = packets[packets["label"] == int(FlowLabel.LEGIT)]
+        sampled_silent = np.intersect1d(silent_ips, np.unique(legit["dst_ip"]))
+        share_visible = len(sampled_silent) / len(silent_ips)
+        assert 0.0 < share_visible < 0.5
+
+    def test_trickle_disabled(self):
+        config = ScenarioConfig.paper(scale=0.005, duration_days=7.0, seed=3,
+                                      silent_trickle_pps=0.0)
+        result = run_scenario(config)
+        silent_ips = np.array([v.ip for v in result.plan.victims
+                               if v.role is HostRole.SILENT], dtype=np.uint32)
+        legit = result.data.packets[
+            result.data.packets["label"] == int(FlowLabel.LEGIT)]
+        assert len(np.intersect1d(silent_ips, np.unique(legit["dst_ip"]))) == 0
+
+
+class TestAttachedObservations:
+    def test_result_carries_observations(self, tiny_result):
+        assert tiny_result.observations
+        sources = {o.source for o in tiny_result.observations}
+        assert ObservationSource.HONEYPOT in sources
+
+    def test_observations_cover_visible_and_remote(self, tiny_result):
+        visible = {e.victim_ip for e in
+                   tiny_result.plan.events_of(EventCategory.DDOS_VISIBLE)}
+        remote = {e.victim_ip for e in
+                  tiny_result.plan.events_of(EventCategory.DDOS_REMOTE)}
+        seen = {o.victim_ip for o in tiny_result.observations}
+        assert seen & visible
+        assert seen & remote
+        # silent events are never observed externally
+        silent = {e.victim_ip for e in
+                  tiny_result.plan.events_of(EventCategory.SILENT)}
+        assert not (seen & silent - visible - remote)
+
+    def test_observations_deterministic(self, tiny_config):
+        a = run_scenario(tiny_config)
+        assert [(o.victim_ip, o.start) for o in a.observations] == \
+            [(o.victim_ip, o.start) for o in run_scenario(tiny_config).observations]

@@ -1,0 +1,78 @@
+"""Tests for the empirical CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import EmpiricalCDF
+
+
+class TestEmpiricalCDF:
+    def test_point_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+
+    def test_vector_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        np.testing.assert_allclose(cdf(np.array([0.0, 1.5, 5.0])), [0.0, 0.5, 1.0])
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF(np.arange(1, 101, dtype=float))
+        assert cdf.quantile(0.5) == 50.0
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 100.0
+        assert cdf.median == 50.0
+
+    def test_quartiles(self):
+        q1, med, q3 = EmpiricalCDF(np.arange(1, 101, dtype=float)).quartiles()
+        assert (q1, med, q3) == (25.0, 50.0, 75.0)
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.zeros((2, 2)))
+
+    def test_series_full(self):
+        x, y = EmpiricalCDF([3.0, 1.0, 2.0, 2.0]).series()
+        np.testing.assert_allclose(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(y, [0.25, 0.75, 1.0])
+
+    def test_series_gridded(self):
+        x, y = EmpiricalCDF(np.arange(100, dtype=float)).series(points=5)
+        assert len(x) == 5 and len(y) == 5
+        assert (np.diff(y) >= 0).all()
+
+    def test_describe_keys(self):
+        desc = EmpiricalCDF([1.0, 2.0, 3.0]).describe()
+        assert desc["n"] == 3 and desc["min"] == 1.0 and desc["max"] == 3.0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
+    def test_monotone_and_bounded(self, values):
+        cdf = EmpiricalCDF(values)
+        grid = np.linspace(min(values) - 1, max(values) + 1, 50)
+        y = cdf(grid)
+        assert (np.diff(y) >= 0).all()
+        assert y[0] >= 0.0 and y[-1] == 1.0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+           st.floats(min_value=0, max_value=1))
+    def test_quantile_cdf_galois(self, values, q):
+        cdf = EmpiricalCDF(values)
+        assert cdf(cdf.quantile(q)) >= q - 1e-12

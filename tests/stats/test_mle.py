@@ -1,0 +1,69 @@
+"""Tests for the control/data time-offset MLE."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import IntervalSet
+from repro.errors import AnalysisError
+from repro.net import IPv4Prefix
+from repro.stats import estimate_time_offset
+
+P1 = IPv4Prefix("203.0.113.7/32")
+P2 = IPv4Prefix("198.51.100.9/32")
+
+
+def interval(*spans):
+    iset = IntervalSet()
+    for start, end in spans:
+        iset.open_at(start)
+        iset.close_at(end)
+    return iset.finalize(max(e for _, e in spans))
+
+
+class TestOffsetEstimation:
+    def test_recovers_injected_offset(self):
+        rng = np.random.default_rng(0)
+        intervals = {P1: interval((100.0, 400.0), (600.0, 900.0))}
+        true_offset = -0.4
+        # data-plane times = control-plane times - offset
+        control_times = np.r_[rng.uniform(100, 400, 3000), rng.uniform(600, 900, 3000)]
+        dropped = {P1: control_times - true_offset}
+        est = estimate_time_offset(dropped, intervals,
+                                   offsets=np.arange(-2.0, 2.0001, 0.04))
+        assert est.best_offset == pytest.approx(true_offset, abs=0.04)
+        assert est.best_share > 0.99
+
+    def test_zero_offset(self):
+        intervals = {P1: interval((0.0, 100.0))}
+        dropped = {P1: np.linspace(1, 99, 200)}
+        est = estimate_time_offset(dropped, intervals)
+        assert abs(est.best_offset) <= 0.04 + 1e-9
+        assert est.best_share == 1.0
+
+    def test_multiple_prefixes_combined(self):
+        intervals = {P1: interval((0.0, 50.0)), P2: interval((100.0, 150.0))}
+        dropped = {P1: np.linspace(1, 49, 100), P2: np.linspace(101, 149, 100)}
+        est = estimate_time_offset(dropped, intervals)
+        assert est.total_packets == 200
+        assert est.best_share == 1.0
+
+    def test_prefix_without_intervals_counts_as_unmatched(self):
+        intervals = {P1: interval((0.0, 100.0))}
+        dropped = {P1: np.linspace(1, 99, 100), P2: np.linspace(1, 99, 100)}
+        est = estimate_time_offset(dropped, intervals)
+        assert est.best_share == pytest.approx(0.5)
+
+    def test_no_packets_rejected(self):
+        with pytest.raises(AnalysisError):
+            estimate_time_offset({}, {})
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(AnalysisError):
+            estimate_time_offset({P1: np.array([1.0])}, {P1: interval((0.0, 2.0))},
+                                 offsets=np.array([]))
+
+    def test_rows_export(self):
+        est = estimate_time_offset({P1: np.array([1.0])}, {P1: interval((0.0, 2.0))},
+                                   offsets=np.array([0.0, 10.0]))
+        rows = est.as_rows()
+        assert rows[0] == (0.0, 1.0) and rows[1] == (10.0, 0.0)

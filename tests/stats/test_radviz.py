@@ -1,0 +1,59 @@
+"""Tests for the RadViz projection."""
+
+import numpy as np
+import pytest
+
+from repro.stats import radviz_projection
+from repro.stats.radviz import radviz_anchors
+
+
+class TestAnchors:
+    def test_on_unit_circle(self):
+        anchors = radviz_anchors(5)
+        np.testing.assert_allclose(np.linalg.norm(anchors, axis=1), 1.0)
+
+    def test_first_anchor_at_angle_zero(self):
+        np.testing.assert_allclose(radviz_anchors(4)[0], [1.0, 0.0], atol=1e-12)
+
+    def test_minimum_two(self):
+        with pytest.raises(ValueError):
+            radviz_anchors(1)
+
+
+class TestProjection:
+    def test_single_feature_lands_on_anchor(self):
+        values = np.array([[1.0, 0.0, 0.0, 0.0]])
+        coords = radviz_projection(values)
+        np.testing.assert_allclose(coords[0], radviz_anchors(4)[0], atol=1e-12)
+
+    def test_equal_features_land_at_origin(self):
+        values = np.array([[0.5, 0.5, 0.5, 0.5]])
+        np.testing.assert_allclose(radviz_projection(values)[0], [0.0, 0.0], atol=1e-12)
+
+    def test_zero_row_at_origin(self):
+        values = np.array([[0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(radviz_projection(values)[0], [0.0, 0.0])
+
+    def test_inside_unit_disc(self):
+        rng = np.random.default_rng(0)
+        coords = radviz_projection(rng.random((500, 6)))
+        assert (np.linalg.norm(coords, axis=1) <= 1.0 + 1e-9).all()
+
+    def test_normalizer_applied(self):
+        raw = np.array([[65535.0, 0.0]])
+        coords = radviz_projection(raw, normalizer=65535.0)
+        np.testing.assert_allclose(coords[0], radviz_anchors(2)[0], atol=1e-12)
+
+    def test_pull_toward_heavier_anchor(self):
+        values = np.array([[0.9, 0.1]])
+        coords = radviz_projection(values)
+        anchors = radviz_anchors(2)
+        assert np.linalg.norm(coords[0] - anchors[0]) < np.linalg.norm(coords[0] - anchors[1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            radviz_projection(np.array([[-1.0, 0.0]]))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            radviz_projection(np.zeros(3))

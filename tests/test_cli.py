@@ -1,0 +1,47 @@
+"""Tests for the command-line interface: generate → analyze round trip."""
+
+import json
+
+import pytest
+
+from repro.cli import CONTROL_FILE, DATA_FILE, META_FILE, main
+
+
+class TestCLI:
+    def test_generate_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        rc = main(["generate", "--scale", "0.005", "--days", "7",
+                   "--out", str(out)])
+        assert rc == 0
+        assert (out / CONTROL_FILE).exists()
+        assert (out / DATA_FILE).exists()
+        meta = json.loads((out / META_FILE).read_text())
+        assert meta["sampling_rate"] == 10_000
+        assert len(meta["peer_asns"]) >= 20
+        assert "wrote" in capsys.readouterr().out
+
+    def test_analyze_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        main(["generate", "--scale", "0.005", "--days", "7", "--out", str(out)])
+        capsys.readouterr()
+        rc = main(["analyze", str(out), "--host-min-days", "4"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "RTBH events:" in text
+        assert "Table 2" in text
+        assert "Fig. 19" in text
+
+    def test_analyze_missing_corpus(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_summary(self, capsys):
+        rc = main(["summary", "--scale", "0.005", "--days", "7",
+                   "--host-min-days", "4"])
+        assert rc == 0
+        assert "use cases" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and produces its
+headline output. Keeps the examples from rotting as the API evolves."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "--scale", "0.005", "--days", "7")
+        assert result.returncode == 0, result.stderr
+        assert "Use cases (Fig. 19)" in result.stdout
+        assert "Pre-RTBH classification" in result.stdout
+
+    def test_ddos_walkthrough(self):
+        result = run_example("ddos_mitigation_walkthrough.py")
+        assert result.returncode == 0, result.stderr
+        assert "DROPPED at the blackhole MAC" in result.stdout
+        assert "still FORWARDED" in result.stdout
+        assert "attack detected" in result.stdout
+
+    def test_acceptance_audit(self):
+        result = run_example("acceptance_audit.py", "--scale", "0.005",
+                             "--days", "7")
+        assert result.returncode == 0, result.stderr
+        assert "policy census" in result.stdout
+        assert "declared vs revealed consistency" in result.stdout
+
+    def test_collateral_damage_study(self):
+        result = run_example("collateral_damage_study.py", "--scale", "0.005",
+                             "--days", "10")
+        assert result.returncode == 0, result.stderr
+        assert "Host classification" in result.stdout
+        assert "fine-grained alternative" in result.stdout
+
+    def test_flowspec_mitigation(self):
+        result = run_example("flowspec_mitigation.py")
+        assert result.returncode == 0, result.stderr
+        assert "FlowSpec rule" in result.stdout
+        assert "takeaway" in result.stdout

@@ -1,0 +1,113 @@
+"""Tests for the amplifier pool and reflection-attack generator."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import FlowLabel
+from repro.errors import ScenarioError
+from repro.net.ports import AMPLIFICATION_PORTS, amplification_protocol_for_port
+from repro.traffic import (
+    AmplificationAttackConfig,
+    AmplifierPool,
+    generate_amplification_flows,
+)
+
+ORIGINS = list(range(10_000, 10_050))
+INGRESSES = list(range(100, 120))
+
+
+@pytest.fixture
+def pool():
+    return AmplifierPool.build(
+        np.random.default_rng(0), ORIGINS, INGRESSES, amplifiers_per_asn=8
+    )
+
+
+class TestAmplifierPool:
+    def test_size(self, pool):
+        assert len(pool) == 50 * 8
+
+    def test_weights_normalised(self, pool):
+        assert pool.weights.sum() == pytest.approx(1.0)
+
+    def test_zipf_skew(self, pool):
+        # first-ranked AS gets markedly more weight than the last
+        by_asn = {}
+        for amp, w in zip(pool.amplifiers, pool.weights):
+            by_asn[amp.origin_asn] = by_asn.get(amp.origin_asn, 0.0) + w
+        assert by_asn[ORIGINS[0]] > 10 * by_asn[ORIGINS[-1]]
+
+    def test_protocols_are_amplification_ports(self, pool):
+        assert all(a.protocol.port in AMPLIFICATION_PORTS and a.protocol.port != 0
+                   for a in pool.amplifiers)
+
+    def test_select_respects_protocol_filter(self, pool):
+        ntp = amplification_protocol_for_port(123)
+        chosen = pool.select(np.random.default_rng(1), 10, [ntp])
+        assert all(a.protocol.port == 123 for a in chosen)
+
+    def test_select_distinct(self, pool):
+        dns = amplification_protocol_for_port(53)
+        chosen = pool.select(np.random.default_rng(2), 30, [dns])
+        assert len({a.ip for a in chosen}) == len(chosen)
+
+    def test_select_caps_at_population(self, pool):
+        ntp = amplification_protocol_for_port(123)
+        chosen = pool.select(np.random.default_rng(3), 10_000, [ntp])
+        assert len(chosen) < len(pool)
+
+    def test_build_validation(self):
+        with pytest.raises(ScenarioError):
+            AmplifierPool.build(np.random.default_rng(0), [], INGRESSES)
+        with pytest.raises(ScenarioError):
+            AmplifierPool.build(np.random.default_rng(0), ORIGINS, INGRESSES,
+                                zipf_exponent=0.0)
+
+
+class TestAttackGeneration:
+    def config(self, **kw):
+        base = dict(
+            victim_ip=0xCB007107, start=1000.0, duration=1200.0,
+            total_pps=50_000.0,
+            protocols=[amplification_protocol_for_port(123),
+                       amplification_protocol_for_port(53)],
+            num_amplifiers=100,
+        )
+        base.update(kw)
+        return AmplificationAttackConfig(**base)
+
+    def test_flow_shape(self, pool):
+        flows = generate_amplification_flows(np.random.default_rng(4), pool, self.config())
+        assert 0 < len(flows) <= 100
+        total = sum(f.pps for f in flows)
+        assert total == pytest.approx(50_000.0, rel=0.05)
+        assert all(f.protocol == 17 for f in flows)
+        assert all(f.src_port in (123, 53) for f in flows)
+        assert all(f.dst_ip == 0xCB007107 for f in flows)
+        assert all(f.label is FlowLabel.ATTACK for f in flows)
+
+    def test_common_victim_port(self, pool):
+        flows = generate_amplification_flows(np.random.default_rng(5), pool, self.config())
+        assert len({f.dst_port for f in flows}) == 1
+
+    def test_explicit_victim_port(self, pool):
+        cfg = self.config(victim_port=4444)
+        flows = generate_amplification_flows(np.random.default_rng(6), pool, cfg)
+        assert all(f.dst_port == 4444 for f in flows)
+
+    def test_heavy_hitters_exist(self, pool):
+        flows = generate_amplification_flows(np.random.default_rng(7), pool, self.config())
+        rates = sorted((f.pps for f in flows), reverse=True)
+        assert rates[0] > 4 * (sum(rates) / len(rates))
+
+    def test_too_low_rate_rejected(self, pool):
+        with pytest.raises(ScenarioError):
+            generate_amplification_flows(
+                np.random.default_rng(8), pool,
+                self.config(total_pps=0.001, duration=1.0, num_amplifiers=100),
+            )
+
+    @pytest.mark.parametrize("kw", [{"duration": 0}, {"total_pps": 0}, {"protocols": []}])
+    def test_config_validation(self, kw):
+        with pytest.raises(ScenarioError):
+            self.config(**kw)

@@ -1,0 +1,166 @@
+"""Tests for SYN flood, carpet attack, and scan generators."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import FlowLabel
+from repro.errors import ScenarioError
+from repro.net.ports import AMPLIFICATION_PORTS
+from repro.traffic import (
+    CarpetAttackConfig,
+    ScanConfig,
+    SynFloodConfig,
+    generate_carpet_flows,
+    generate_scan_flows,
+    generate_syn_flood_flows,
+)
+from repro.traffic.carpet import PortPattern
+
+INGRESSES = [100, 101, 102]
+ORIGINS = [7000, 7001]
+
+
+class TestSynFlood:
+    def config(self, **kw):
+        base = dict(victim_ip=0xCB007107, victim_port=443, start=0.0,
+                    duration=600.0, total_pps=30_000.0, num_sources=50)
+        base.update(kw)
+        return SynFloodConfig(**base)
+
+    def test_shape(self):
+        flows = generate_syn_flood_flows(np.random.default_rng(0), self.config(),
+                                         INGRESSES, ORIGINS)
+        assert len(flows) == 50
+        assert all(f.protocol == 6 for f in flows)
+        assert all(f.dst_port == 443 for f in flows)
+        assert all(f.mean_packet_size == 60.0 for f in flows)
+        assert sum(f.pps for f in flows) == pytest.approx(30_000.0)
+
+    def test_sources_spoofed_random(self):
+        flows = generate_syn_flood_flows(np.random.default_rng(1), self.config(),
+                                         INGRESSES, ORIGINS)
+        assert len({f.src_ip for f in flows}) > 40
+
+    def test_requires_as_lists(self):
+        with pytest.raises(ScenarioError):
+            generate_syn_flood_flows(np.random.default_rng(0), self.config(), [], ORIGINS)
+
+    def test_rate_floor(self):
+        with pytest.raises(ScenarioError):
+            generate_syn_flood_flows(
+                np.random.default_rng(0),
+                self.config(total_pps=0.01, duration=1.0), INGRESSES, ORIGINS)
+
+
+class TestCarpet:
+    def config(self, **kw):
+        base = dict(victim_ip=0xCB007107, start=0.0, duration=600.0,
+                    total_pps=20_000.0, num_flows=100)
+        base.update(kw)
+        return CarpetAttackConfig(**base)
+
+    def test_random_ports_spread(self):
+        flows = generate_carpet_flows(np.random.default_rng(0), self.config(),
+                                      INGRESSES, ORIGINS)
+        ports = {f.dst_port for f in flows}
+        assert len(ports) > 80
+        # mostly NOT on amplification ports
+        on_amp = sum(1 for f in flows if f.src_port in AMPLIFICATION_PORTS)
+        assert on_amp < 10
+
+    def test_increasing_pattern(self):
+        cfg = self.config(pattern=PortPattern.INCREASING)
+        flows = generate_carpet_flows(np.random.default_rng(1), cfg, INGRESSES, ORIGINS)
+        ports = [f.dst_port for f in flows]
+        diffs = {(b - a) % 65536 for a, b in zip(ports, ports[1:])}
+        assert diffs == {7}
+
+    def test_multi_protocol(self):
+        cfg = self.config(pattern=PortPattern.MULTI_PROTOCOL)
+        flows = generate_carpet_flows(np.random.default_rng(2), cfg, INGRESSES, ORIGINS)
+        assert {f.protocol for f in flows} == {1, 6, 17}
+
+    def test_label(self):
+        flows = generate_carpet_flows(np.random.default_rng(3), self.config(),
+                                      INGRESSES, ORIGINS)
+        assert all(f.label is FlowLabel.ATTACK for f in flows)
+
+
+class TestScan:
+    def config(self, **kw):
+        base = dict(scanner_ip=0x01010101, ingress_asn=100, origin_asn=7000,
+                    start=0.0, duration=86400.0)
+        base.update(kw)
+        return ScanConfig(**base)
+
+    def test_targets_covered(self):
+        targets = [0xCB007100 + i for i in range(10)]
+        flows = generate_scan_flows(np.random.default_rng(0), self.config(), targets)
+        assert {f.dst_ip for f in flows} == set(targets)
+        assert len(flows) == 20  # 2 ports per target
+
+    def test_low_rate(self):
+        flows = generate_scan_flows(np.random.default_rng(1), self.config(), [1])
+        assert all(f.pps <= 0.02 for f in flows)
+        assert all(f.label is FlowLabel.SCAN for f in flows)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ScenarioError):
+            generate_scan_flows(np.random.default_rng(0), self.config(), [])
+
+
+class TestLegitGenerators:
+    def test_server_traffic_stable_top_port(self):
+        from repro.traffic import ServerProfile, generate_server_traffic
+
+        profile = ServerProfile(ip=0xCB007101, member_asn=100,
+                                services=[(6, 443, 10.0), (6, 80, 1.0)])
+        rng = np.random.default_rng(0)
+        peers = [(101, 8000), (102, 8001)]
+        incoming_ports = []
+        for day in range(30):
+            flows = generate_server_traffic(rng, profile, peers, day, flows_per_day=4)
+            daily = [f.dst_port for f in flows if f.dst_ip == profile.ip]
+            incoming_ports.append(max(set(daily), key=daily.count))
+        # dominant service port wins most days
+        assert incoming_ports.count(443) > 20
+
+    def test_server_traffic_both_directions(self):
+        from repro.traffic import ServerProfile, generate_server_traffic
+
+        profile = ServerProfile(ip=0xCB007101, member_asn=100,
+                                services=[(6, 443, 1.0)])
+        flows = generate_server_traffic(np.random.default_rng(1), profile,
+                                        [(101, 8000)], 0)
+        assert any(f.dst_ip == profile.ip for f in flows)
+        assert any(f.src_ip == profile.ip for f in flows)
+        out = [f for f in flows if f.src_ip == profile.ip]
+        assert all(f.src_port == 443 for f in out)
+        assert all(f.ingress_asn == 100 for f in out)
+
+    def test_client_incoming_port_varies_daily(self):
+        from repro.traffic import ClientProfile, generate_client_traffic
+
+        profile = ClientProfile(ip=0xCB007201, member_asn=100)
+        rng = np.random.default_rng(2)
+        tops = []
+        for day in range(20):
+            flows = generate_client_traffic(rng, profile, [(101, 8000)], day,
+                                            flows_per_day=2)
+            daily = [f.dst_port for f in flows if f.dst_ip == profile.ip]
+            tops.append(max(set(daily), key=daily.count))
+        assert len(set(tops)) > 15  # almost every day a fresh ephemeral port
+
+    def test_validation(self):
+        from repro.errors import ScenarioError
+        from repro.traffic import ClientProfile, ServerProfile, generate_client_traffic
+
+        with pytest.raises(ScenarioError):
+            ServerProfile(ip=1, member_asn=100, services=[])
+        with pytest.raises(ScenarioError):
+            ServerProfile(ip=1, member_asn=100, services=[(6, 443, 0.0)])
+        with pytest.raises(ScenarioError):
+            ClientProfile(ip=1, member_asn=100, remote_services=[])
+        with pytest.raises(ScenarioError):
+            generate_client_traffic(np.random.default_rng(0),
+                                    ClientProfile(ip=1, member_asn=100), [], 0)

@@ -1,0 +1,54 @@
+"""Tests for the diurnal rate profile."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.traffic import DiurnalProfile
+from repro.traffic.diurnal import DAY_SECONDS
+
+
+class TestDiurnalProfile:
+    def test_mean_is_one_over_a_day(self):
+        profile = DiurnalProfile(peak_hour=20.0, trough_ratio=0.3)
+        t = np.linspace(0, DAY_SECONDS, 10_000, endpoint=False)
+        assert abs(float(np.mean(profile.factor(t))) - 1.0) < 1e-3
+
+    def test_peak_at_peak_hour(self):
+        profile = DiurnalProfile(peak_hour=20.0, trough_ratio=0.3)
+        peak_t = 20.0 / 24.0 * DAY_SECONDS
+        trough_t = 8.0 / 24.0 * DAY_SECONDS
+        assert profile.factor(peak_t) > profile.factor(trough_t)
+
+    def test_trough_ratio(self):
+        profile = DiurnalProfile(peak_hour=12.0, trough_ratio=0.5)
+        peak = profile.factor(12 / 24 * DAY_SECONDS)
+        trough = profile.factor(0.0)
+        assert trough / peak == pytest.approx(0.5, rel=1e-6)
+
+    def test_flat_profile(self):
+        profile = DiurnalProfile(trough_ratio=1.0)
+        assert profile.factor(1234.5) == pytest.approx(1.0)
+
+    def test_periodicity(self):
+        profile = DiurnalProfile()
+        assert profile.factor(100.0) == pytest.approx(profile.factor(100.0 + DAY_SECONDS))
+
+    def test_segment_rates(self):
+        profile = DiurnalProfile()
+        segments = profile.segment_rates(0.0, base_pps=10.0, segments=4)
+        assert len(segments) == 4
+        starts = [s for s, _, _ in segments]
+        assert starts == [0.0, 21600.0, 43200.0, 64800.0]
+        assert all(d == 21600.0 for _, d, _ in segments)
+        assert all(pps > 0 for _, _, pps in segments)
+
+    @pytest.mark.parametrize("kw", [{"peak_hour": 24.0}, {"peak_hour": -1},
+                                    {"trough_ratio": 0.0}, {"trough_ratio": 1.5}])
+    def test_validation(self, kw):
+        with pytest.raises(ScenarioError):
+            DiurnalProfile(**kw)
+
+    def test_segment_validation(self):
+        with pytest.raises(ScenarioError):
+            DiurnalProfile().segment_rates(0.0, 1.0, segments=0)

@@ -25,17 +25,27 @@ Quickstart::
 """
 
 from repro.core.pipeline import AnalysisPipeline
-from repro.corpus import ControlPlaneCorpus, DataPlaneCorpus
+from repro.core.study import AnalysisStatus, StudyReport
+from repro.corpus import (
+    ControlPlaneCorpus,
+    DataPlaneCorpus,
+    validate_corpus,
+    write_manifest,
+)
 from repro.scenario import ScenarioConfig, ScenarioResult, run_scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisPipeline",
+    "AnalysisStatus",
     "ControlPlaneCorpus",
     "DataPlaneCorpus",
     "ScenarioConfig",
     "ScenarioResult",
+    "StudyReport",
     "run_scenario",
+    "validate_corpus",
+    "write_manifest",
     "__version__",
 ]

@@ -1,16 +1,23 @@
 """Command-line interface.
 
-Three subcommands mirror the library's layering::
+Five subcommands mirror the library's layering::
 
     python -m repro generate --scale 0.02 --days 30 --out corpus_dir
-    python -m repro analyze corpus_dir [--peers corpus_dir/peers.json]
+    python -m repro validate corpus_dir
+    python -m repro inject corpus_dir --out degraded_dir --fault drop:0.1
+    python -m repro analyze corpus_dir [--strict | --lenient]
     python -m repro summary --scale 0.01 --days 14
 
-``generate`` writes the corpora (and the membership/PeeringDB sidecar) to
-disk; ``analyze`` re-loads them and prints the study's headline numbers —
-the pair demonstrates that the pipeline runs from files alone, exactly as
-it would on real route-server dumps and IPFIX exports. ``summary`` does
-both in memory.
+``generate`` writes the corpora (plus the membership/PeeringDB sidecar and
+a checksummed ``manifest.json``); ``validate`` integrity-checks a corpus
+directory without running any analysis; ``inject`` produces a
+deterministically-degraded copy of a corpus for robustness work;
+``analyze`` re-loads a corpus and prints the study's headline numbers —
+leniently by default, isolating each figure behind typed-exception capture;
+``summary`` generates and analyzes in memory.
+
+Exit codes: 0 success; 1 validation or analysis failures; 2 missing
+inputs or bad usage; 3 a corpus that could not be ingested at all.
 """
 
 from __future__ import annotations
@@ -23,12 +30,25 @@ from pathlib import Path
 from repro import AnalysisPipeline, ControlPlaneCorpus, DataPlaneCorpus
 from repro.core.hosts import HostClass
 from repro.core.report import format_table, pct, seconds_human
+from repro.core.study import StudyReport
+from repro.corpus.manifest import (
+    CONTROL_FILE,
+    DATA_FILE,
+    MANIFEST_FILE,
+    META_FILE,
+    validate_corpus,
+    write_manifest,
+)
+from repro.errors import FaultInjectionError, ReproError
+from repro.faults import FaultSpec, degrade_corpus_dir
 from repro.ixp.peeringdb import OrgType, PeeringDB, PeeringDBRecord
 from repro.scenario import ScenarioConfig, run_scenario
 
-CONTROL_FILE = "control.jsonl"
-DATA_FILE = "data.npz"
-META_FILE = "platform.json"
+#: process exit codes (documented in the module docstring)
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2
+EXIT_UNREADABLE = 3
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -53,9 +73,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         "seed": args.seed,
     }
     (out / META_FILE).write_text(json.dumps(meta, indent=2))
+    write_manifest(out, counts={
+        "control_messages": len(result.control),
+        "data_packets": len(result.data),
+    })
     print(f"wrote {len(result.control)} control messages, "
-          f"{len(result.data)} sampled packets, and platform metadata to {out}/")
-    return 0
+          f"{len(result.data)} sampled packets, platform metadata, and "
+          f"{MANIFEST_FILE} to {out}/")
+    return EXIT_OK
 
 
 def _load_platform(path: Path) -> tuple[list[int], int, PeeringDB]:
@@ -69,20 +94,39 @@ def _load_platform(path: Path) -> tuple[list[int], int, PeeringDB]:
     return list(meta["peer_asns"]), int(meta["route_server_asn"]), db
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    path = Path(args.corpus)
+def _check_corpus_files(path: Path) -> int:
     for required in (CONTROL_FILE, DATA_FILE, META_FILE):
         if not (path / required).exists():
             print(f"error: {path / required} missing", file=sys.stderr)
-            return 2
-    control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE)
-    data = DataPlaneCorpus.load_npz(path / DATA_FILE)
-    peers, rs_asn, peeringdb = _load_platform(path)
+            return EXIT_USAGE
+    return EXIT_OK
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    path = Path(args.corpus)
+    rc = _check_corpus_files(path)
+    if rc != EXIT_OK:
+        return rc
+    policy = "strict" if args.strict else "skip"
+    try:
+        control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE,
+                                                on_error=policy)
+        data = DataPlaneCorpus.load_npz(path / DATA_FILE, on_error=policy)
+        peers, rs_asn, peeringdb = _load_platform(path)
+    except (ReproError, OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot ingest corpus: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
     pipeline = AnalysisPipeline(control, data, peer_asns=peers,
                                 peeringdb=peeringdb, route_server_asn=rs_asn,
                                 host_min_days=args.host_min_days)
-    _print_study(pipeline)
-    return 0
+    try:
+        report = pipeline.run_all(strict=args.strict)
+    except ReproError as exc:
+        print(f"error: analysis failed (strict mode): "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILURES
+    _print_study(pipeline, report)
+    return EXIT_OK if report.ok else EXIT_FAILURES
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -93,44 +137,100 @@ def _cmd_summary(args: argparse.Namespace) -> int:
                                 peer_asns=result.ixp.member_asns,
                                 peeringdb=result.ixp.peeringdb,
                                 host_min_days=args.host_min_days)
-    _print_study(pipeline)
-    return 0
+    report = pipeline.run_all(strict=False)
+    _print_study(pipeline, report)
+    return EXIT_OK if report.ok else EXIT_FAILURES
 
 
-def _print_study(pipeline: AnalysisPipeline) -> None:
-    events = pipeline.events
-    load = pipeline.fig3_load()
-    print(f"RTBH events: {len(events)} "
-          f"(from {pipeline.control.rtbh_message_count()} messages); "
-          f"parallel blackholes mean {load.mean_active:.0f} / "
-          f"peak {load.peak_active}")
+def _cmd_validate(args: argparse.Namespace) -> int:
+    path = Path(args.corpus)
+    if not path.is_dir():
+        print(f"error: {path} is not a directory", file=sys.stderr)
+        return EXIT_USAGE
+    report = validate_corpus(path)
+    print(report.format())
+    return EXIT_OK if report.ok else EXIT_FAILURES
 
-    rates = pipeline.fig5_drop_by_length()
-    rows = [[f"/{int(l)}", pct(float(p)), pct(float(b)), pct(float(s), 2)]
-            for l, p, b, s in zip(rates.lengths, rates.drop_share_packets,
-                                  rates.drop_share_bytes, rates.traffic_share)]
-    print()
-    print(format_table(["len", "drop(pkts)", "drop(bytes)", "traffic"],
-                       rows, title="acceptance by prefix length (Fig. 5):"))
 
-    print("\npre-RTBH classes (Table 2):")
-    for cls, share in pipeline.table2_pre_classes().items():
-        print(f"  {cls.value:18s} {pct(share)}")
+def _cmd_inject(args: argparse.Namespace) -> int:
+    src, dst = Path(args.corpus), Path(args.out)
+    rc = _check_corpus_files(src)
+    if rc != EXIT_OK:
+        return rc
+    try:
+        specs = [FaultSpec.parse(text) for text in args.fault]
+    except FaultInjectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if not specs:
+        print("error: at least one --fault kind[:intensity] required",
+              file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        report = degrade_corpus_dir(src, dst, specs, seed=args.seed)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
+    print(report.format())
+    print(f"degraded corpus written to {dst}/ "
+          f"(stale {MANIFEST_FILE} copied for validate to catch)")
+    return EXIT_OK
 
-    print("\nuse cases (Fig. 19):")
-    classification = pipeline.fig19_use_cases()
-    for case, share in classification.shares().items():
-        count = classification.counts()[case]
-        if count:
-            _, med, _ = classification.duration_quartiles(case)
-            print(f"  {case.value:26s} {pct(share):>6s} "
-                  f"(median duration {seconds_human(med)})")
 
-    counts = pipeline.host_study.counts()
-    print(f"\nhosts: {counts[HostClass.CLIENT]} clients / "
-          f"{counts[HostClass.SERVER]} servers detected; "
-          f"{pipeline.fig18_collateral().events_with_collateral} events "
-          "with collateral damage")
+def _print_study(pipeline: AnalysisPipeline, report: StudyReport) -> None:
+    if not report.ok or any(report.warnings):
+        print(report.format())
+        print()
+
+    load = report.value("fig3_load")
+    if load is not None:
+        try:
+            n_events = len(pipeline.events)
+            n_messages = pipeline.control.rtbh_message_count()
+        except ReproError:
+            n_events = n_messages = 0
+        print(f"RTBH events: {n_events} "
+              f"(from {n_messages} messages); "
+              f"parallel blackholes mean {load.mean_active:.0f} / "
+              f"peak {load.peak_active}")
+
+    rates = report.value("fig5_drop_by_length")
+    if rates is not None:
+        rows = [[f"/{int(l)}", pct(float(p)), pct(float(b)), pct(float(s), 2)]
+                for l, p, b, s in zip(rates.lengths, rates.drop_share_packets,
+                                      rates.drop_share_bytes,
+                                      rates.traffic_share)]
+        print()
+        print(format_table(["len", "drop(pkts)", "drop(bytes)", "traffic"],
+                           rows, title="acceptance by prefix length (Fig. 5):"))
+
+    pre_classes = report.value("table2_pre_classes")
+    if pre_classes is not None:
+        print("\npre-RTBH classes (Table 2):")
+        for cls, share in pre_classes.items():
+            print(f"  {cls.value:18s} {pct(share)}")
+
+    classification = report.value("fig19_use_cases")
+    if classification is not None:
+        print("\nuse cases (Fig. 19):")
+        for case, share in classification.shares().items():
+            count = classification.counts()[case]
+            if count:
+                _, med, _ = classification.duration_quartiles(case)
+                print(f"  {case.value:26s} {pct(share):>6s} "
+                      f"(median duration {seconds_human(med)})")
+
+    collateral = report.value("fig18_collateral")
+    if collateral is not None:
+        try:
+            counts = pipeline.host_study.counts()
+        except ReproError:
+            counts = None
+        if counts is not None:
+            print(f"\nhosts: {counts[HostClass.CLIENT]} clients / "
+                  f"{counts[HostClass.SERVER]} servers detected; "
+                  f"{collateral.events_with_collateral} events "
+                  "with collateral damage")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,7 +250,29 @@ def build_parser() -> argparse.ArgumentParser:
     ana = sub.add_parser("analyze", help="analyze a saved corpus")
     ana.add_argument("corpus", help="directory written by 'generate'")
     ana.add_argument("--host-min-days", type=int, default=20)
-    ana.set_defaults(func=_cmd_analyze)
+    mode = ana.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="fail on the first bad record or analysis")
+    mode.add_argument("--lenient", dest="strict", action="store_false",
+                      help="skip bad records, isolate failing analyses "
+                           "(default)")
+    ana.set_defaults(func=_cmd_analyze, strict=False)
+
+    val = sub.add_parser("validate",
+                         help="integrity-check a corpus directory")
+    val.add_argument("corpus", help="directory written by 'generate'")
+    val.set_defaults(func=_cmd_validate)
+
+    inj = sub.add_parser("inject",
+                         help="write a deterministically-degraded copy of "
+                              "a corpus")
+    inj.add_argument("corpus", help="clean corpus directory")
+    inj.add_argument("--out", required=True, help="output directory")
+    inj.add_argument("--fault", action="append", default=[],
+                     metavar="KIND[:INTENSITY]",
+                     help="fault to inject, e.g. drop:0.1 (repeatable)")
+    inj.add_argument("--seed", type=int, default=0)
+    inj.set_defaults(func=_cmd_inject)
 
     summ = sub.add_parser("summary", help="generate + analyze in memory")
     summ.add_argument("--scale", type=float, default=0.01)

@@ -14,6 +14,7 @@ import numpy as np
 from repro.corpus.control import ControlPlaneCorpus
 from repro.corpus.data import DataPlaneCorpus
 from repro.dataplane.timeline import IntervalSet
+from repro.errors import AnalysisError
 from repro.net.ip import IPv4Prefix
 from repro.net.radix import RadixTree
 from repro.stats.mle import OffsetEstimate, estimate_time_offset
@@ -61,6 +62,10 @@ def time_offset_analysis(
         tree.insert(prefix, True)
 
     dropped = data.packets[data.packets["dropped"]]
+    if len(dropped) == 0:
+        raise AnalysisError(
+            "time-offset estimation needs dropped packets; the data-plane "
+            "corpus has none")
     grouped_times: Dict[IPv4Prefix, np.ndarray] = {}
     grouped_intervals: Dict[IPv4Prefix, IntervalSet] = {}
     dst = dropped["dst_ip"]

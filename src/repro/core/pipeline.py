@@ -23,9 +23,31 @@ from repro.core import pre_rtbh as pre_mod
 from repro.core import protocols as protocols_mod
 from repro.core import visibility as visibility_mod
 from repro.core.events import DEFAULT_DELTA, RTBHEvent, extract_events
+from repro.core.study import StudyReport, run_analysis
 from repro.corpus.control import ControlPlaneCorpus
 from repro.corpus.data import DataPlaneCorpus
 from repro.ixp.peeringdb import PeeringDB
+
+#: every analysis `run_all` executes, in study order; names are the
+#: pipeline method names so reports stay greppable against the paper
+ANALYSIS_NAMES = (
+    "fig2_time_offset",
+    "fig3_load",
+    "fig4_targeted_visibility",
+    "fig5_drop_by_length",
+    "fig6_drop_cdfs",
+    "fig7_top_sources",
+    "fig8_org_types",
+    "fig10_merge_sweep",
+    "table2_pre_classes",
+    "sec54_protocol_mix",
+    "table3_amplification",
+    "fig14_filterable",
+    "fig15_participation",
+    "table4_host_types",
+    "fig18_collateral",
+    "fig19_use_cases",
+)
 
 
 class AnalysisPipeline:
@@ -129,6 +151,44 @@ class AnalysisPipeline:
     def fig18_collateral(self) -> collateral_mod.CollateralDamage:
         return collateral_mod.collateral_damage(self.data, self.events,
                                                 self.host_study)
+
+    # -- degraded-mode execution ------------------------------------------------
+
+    @property
+    def degraded_inputs(self) -> bool:
+        """Whether either corpus lost records during (lenient) ingestion."""
+        for corpus in (self.control, self.data):
+            report = getattr(corpus, "ingest_report", None)
+            if report is not None and not report.ok:
+                return True
+        return False
+
+    def run_all(self, strict: bool = True,
+                analyses: Sequence[str] | None = None) -> StudyReport:
+        """Run every analysis of the study and report per-figure status.
+
+        ``strict=True`` re-raises the first typed
+        :class:`~repro.errors.ReproError`; ``strict=False`` captures typed
+        failures per analysis so one rotten figure cannot take down the
+        other fifteen.  Analyses that succeed on lossy inputs (lenient
+        ingestion dropped records) are marked ``degraded`` rather than
+        ``ok``.  Untyped exceptions always propagate — they are bugs, not
+        data problems.
+        """
+        report = StudyReport()
+        degraded = self.degraded_inputs
+        for corpus_name, corpus in (("control", self.control),
+                                    ("data", self.data)):
+            ingest = getattr(corpus, "ingest_report", None)
+            if ingest is not None and not ingest.ok:
+                report.warnings.append(
+                    f"{corpus_name} ingest dropped {ingest.skipped} of "
+                    f"{ingest.total} records")
+        for name in (analyses if analyses is not None else ANALYSIS_NAMES):
+            report.outcomes.append(run_analysis(
+                name, getattr(self, name), strict=strict,
+                degraded_inputs=degraded))
+        return report
 
     def fig19_use_cases(self) -> classify_mod.UseCaseClassification:
         # On short corpora the absolute month-scale squatting threshold is

@@ -1,8 +1,34 @@
 """Measurement corpora: the control-plane BGP message log and the
-numpy-backed data-plane store of sampled packets, with persistence.
+numpy-backed data-plane store of sampled packets, with persistence,
+per-record error policies, and manifest-based integrity validation.
 """
 
 from repro.corpus.control import ControlPlaneCorpus, RTBH_RELATED
 from repro.corpus.data import DataPlaneCorpus
+from repro.corpus.ingest import IngestProblem, IngestReport
+from repro.corpus.manifest import (
+    CONTROL_FILE,
+    DATA_FILE,
+    MANIFEST_FILE,
+    META_FILE,
+    ValidationIssue,
+    ValidationReport,
+    validate_corpus,
+    write_manifest,
+)
 
-__all__ = ["ControlPlaneCorpus", "DataPlaneCorpus", "RTBH_RELATED"]
+__all__ = [
+    "ControlPlaneCorpus",
+    "DataPlaneCorpus",
+    "IngestProblem",
+    "IngestReport",
+    "RTBH_RELATED",
+    "CONTROL_FILE",
+    "DATA_FILE",
+    "MANIFEST_FILE",
+    "META_FILE",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_corpus",
+    "write_manifest",
+]

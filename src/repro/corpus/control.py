@@ -11,12 +11,14 @@ classification once and caches it.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.community import Community
 from repro.bgp.message import BGPUpdate, UpdateAction
-from repro.errors import CorpusError
+from repro.corpus.ingest import IngestReport, check_policy
+from repro.errors import CorpusError, IngestError, ReproError
 from repro.net.ip import IPv4Address, IPv4Prefix
 
 #: marker returned alongside updates by :meth:`rtbh_updates`
@@ -24,10 +26,39 @@ RTBH_RELATED = "rtbh"
 
 
 class ControlPlaneCorpus:
-    """An ordered store of BGP updates with RTBH-aware helpers."""
+    """An ordered store of BGP updates with RTBH-aware helpers.
 
-    def __init__(self, messages: Sequence[BGPUpdate]):
-        self._messages: List[BGPUpdate] = sorted(messages, key=lambda m: m.time)
+    Construction validates timestamps: real feeds arrive with corrupt
+    records, and a single NaN would silently poison every sort-based
+    analysis.  Under ``on_error="strict"`` (default) a non-finite
+    timestamp raises :class:`CorpusError`; under ``"skip"``/``"collect"``
+    the record is dropped and accounted in :attr:`ingest_report`.
+    """
+
+    def __init__(self, messages: Sequence[BGPUpdate], *,
+                 on_error: str = "strict",
+                 ingest_report: Optional[IngestReport] = None):
+        check_policy(on_error)
+        report = ingest_report
+        if report is None:
+            report = IngestReport(source="<memory>", policy=on_error)
+            report.total = len(messages)
+        clean: List[BGPUpdate] = []
+        for index, msg in enumerate(messages):
+            if not math.isfinite(msg.time):
+                if on_error == "strict":
+                    raise CorpusError(
+                        f"control-plane record {index} has non-finite "
+                        f"timestamp {msg.time!r}")
+                report.record_problem(f"record {index}",
+                                      f"non-finite timestamp {msg.time!r}",
+                                      payload=str(msg))
+                continue
+            clean.append(msg)
+        self._messages: List[BGPUpdate] = sorted(clean, key=lambda m: m.time)
+        report.loaded = len(self._messages)
+        #: accounting of what construction/loading kept and dropped
+        self.ingest_report: IngestReport = report
         self._rtbh_flags: Optional[List[bool]] = None
 
     def __len__(self) -> int:
@@ -115,40 +146,106 @@ class ControlPlaneCorpus:
 
     def save_jsonl(self, path: str | Path) -> None:
         """One JSON object per line; communities as ``asn:value`` strings."""
-        with open(path, "w", encoding="utf-8") as fh:
-            for msg in self._messages:
-                fh.write(json.dumps({
-                    "time": msg.time,
-                    "peer_asn": msg.peer_asn,
-                    "action": msg.action.value,
-                    "prefix": str(msg.prefix),
-                    "next_hop": None if msg.next_hop is None else str(msg.next_hop),
-                    "as_path": list(msg.as_path),
-                    "communities": sorted(str(c) for c in msg.communities),
-                }) + "\n")
+        write_updates_jsonl(self._messages, path)
 
     @classmethod
-    def load_jsonl(cls, path: str | Path) -> "ControlPlaneCorpus":
-        messages = []
-        with open(path, encoding="utf-8") as fh:
-            for line_no, line in enumerate(fh, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    raw = json.loads(line)
-                    messages.append(BGPUpdate(
-                        time=float(raw["time"]),
-                        peer_asn=int(raw["peer_asn"]),
-                        action=UpdateAction(raw["action"]),
-                        prefix=IPv4Prefix(raw["prefix"]),
-                        next_hop=(None if raw["next_hop"] is None
-                                  else IPv4Address(raw["next_hop"])),
-                        as_path=tuple(raw["as_path"]),
-                        communities=frozenset(
-                            Community.parse(c) for c in raw["communities"]
-                        ),
-                    ))
-                except (KeyError, ValueError) as exc:
-                    raise CorpusError(f"{path}:{line_no}: bad record: {exc}") from exc
-        return cls(messages)
+    def load_jsonl(cls, path: str | Path, *, on_error: str = "strict",
+                   quarantine_path: str | Path | None = None,
+                   ) -> "ControlPlaneCorpus":
+        """Stream a JSONL dump into a corpus under an error policy.
+
+        ``strict`` raises :class:`~repro.errors.IngestError` at the first
+        malformed line; ``skip``/``collect`` drop malformed lines and
+        account for them in the returned corpus's :attr:`ingest_report`
+        (``collect`` additionally quarantines the raw payloads, writing
+        them to ``quarantine_path`` when given).
+        """
+        check_policy(on_error)
+        report = IngestReport(source=str(path), policy=on_error,
+                              quarantine_path=(None if quarantine_path is None
+                                               else str(quarantine_path)))
+        messages: List[BGPUpdate] = []
+        for line_no, item in read_updates_jsonl(path, on_error=on_error):
+            report.total += 1
+            if isinstance(item, BGPUpdate):
+                messages.append(item)
+            else:
+                report.record_problem(f"{Path(path).name}:{line_no}",
+                                      item[0], payload=item[1])
+        if quarantine_path is not None and report.quarantined:
+            with open(quarantine_path, "w", encoding="utf-8") as fh:
+                for payload in report.quarantined:
+                    fh.write(payload + "\n")
+        return cls(messages, on_error=on_error, ingest_report=report)
+
+
+# -- record (de)serialization ----------------------------------------------------
+
+
+def update_to_json(msg: BGPUpdate) -> dict:
+    """The canonical JSONL representation of one UPDATE."""
+    return {
+        "time": msg.time,
+        "peer_asn": msg.peer_asn,
+        "action": msg.action.value,
+        "prefix": str(msg.prefix),
+        "next_hop": None if msg.next_hop is None else str(msg.next_hop),
+        "as_path": list(msg.as_path),
+        "communities": sorted(str(c) for c in msg.communities),
+    }
+
+
+def update_from_json(raw: dict) -> BGPUpdate:
+    """Parse one JSONL record; raises ``KeyError``/``ValueError``/
+    :class:`~repro.errors.ReproError` on malformed input."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"record is not an object: {type(raw).__name__}")
+    return BGPUpdate(
+        time=float(raw["time"]),
+        peer_asn=int(raw["peer_asn"]),
+        action=UpdateAction(raw["action"]),
+        prefix=IPv4Prefix(raw["prefix"]),
+        next_hop=(None if raw["next_hop"] is None
+                  else IPv4Address(raw["next_hop"])),
+        as_path=tuple(int(asn) for asn in raw["as_path"]),
+        communities=frozenset(
+            Community.parse(c) for c in raw["communities"]
+        ),
+    )
+
+
+def write_updates_jsonl(messages: Sequence[BGPUpdate],
+                        path: str | Path) -> None:
+    """Write messages in the given order (fault injection relies on the
+    order being preserved, so no sorting happens here)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for msg in messages:
+            fh.write(json.dumps(update_to_json(msg)) + "\n")
+
+
+def read_updates_jsonl(
+    path: str | Path, *, on_error: str = "strict",
+) -> Iterator[Tuple[int, "BGPUpdate | Tuple[str, str]"]]:
+    """Stream ``(line_no, update)`` pairs from a JSONL dump.
+
+    Under lenient policies a malformed line yields ``(line_no, (reason,
+    raw_line))`` instead of raising, letting callers do their own
+    accounting without buffering the file.
+    """
+    check_policy(on_error)
+    try:
+        fh = open(path, encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise IngestError(f"{path}: cannot open: {exc}") from exc
+    with fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield line_no, update_from_json(json.loads(line))
+            except (KeyError, ValueError, TypeError, ReproError) as exc:
+                if on_error == "strict":
+                    raise IngestError(
+                        f"{path}:{line_no}: bad record: {exc}") from exc
+                yield line_no, (f"bad record: {exc}", line)

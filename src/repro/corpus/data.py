@@ -4,13 +4,16 @@ time-sorted, with the vectorized selections the analyses need.
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.dataplane.packet import PACKET_DTYPE
-from repro.errors import CorpusError
+from repro.corpus.ingest import IngestReport, check_policy
+from repro.dataplane.packet import PACKET_DTYPE, packets_from_arrays
+from repro.errors import CorpusError, IngestError
 from repro.net.ip import IPv4Prefix
 
 _MAX32 = 0xFFFFFFFF
@@ -21,13 +24,55 @@ def _prefix_mask(length: int) -> np.uint32:
 
 
 class DataPlaneCorpus:
-    """Sampled packets of the whole measurement period."""
+    """Sampled packets of the whole measurement period.
 
-    def __init__(self, packets: np.ndarray, sampling_rate: int = 10_000):
-        if packets.dtype != PACKET_DTYPE:
-            raise CorpusError(f"expected PACKET_DTYPE array, got {packets.dtype}")
+    Construction validates the store the way a production ingester must:
+    wrong dtype, non-1-D shape, or a non-positive sampling rate always
+    raise :class:`CorpusError`; rows with non-finite or negative
+    timestamps raise under ``on_error="strict"`` (default) and are
+    dropped — with accounting in :attr:`ingest_report` — under
+    ``"skip"``/``"collect"``.
+    """
+
+    def __init__(self, packets: np.ndarray, sampling_rate: int = 10_000, *,
+                 on_error: str = "strict",
+                 ingest_report: Optional[IngestReport] = None):
+        check_policy(on_error)
+        if not isinstance(packets, np.ndarray) or packets.dtype != PACKET_DTYPE:
+            raise CorpusError(
+                f"expected PACKET_DTYPE array, got "
+                f"{getattr(packets, 'dtype', type(packets).__name__)}")
+        if packets.ndim != 1:
+            raise CorpusError(
+                f"packet store must be 1-D, got shape {packets.shape}")
+        try:
+            sampling_rate = int(sampling_rate)
+        except (TypeError, ValueError) as exc:
+            raise CorpusError(f"bad sampling rate: {sampling_rate!r}") from exc
+        if sampling_rate <= 0:
+            raise CorpusError(f"sampling rate must be positive: {sampling_rate}")
+        report = ingest_report
+        if report is None:
+            report = IngestReport(source="<memory>", policy=on_error)
+            report.total = len(packets)
+        bad = ~np.isfinite(packets["time"]) | (packets["time"] < 0.0)
+        n_bad = int(bad.sum())
+        if n_bad:
+            if on_error == "strict":
+                raise CorpusError(
+                    f"{n_bad} packet record(s) with non-finite or negative "
+                    "timestamps")
+            for index in np.flatnonzero(bad)[:8]:
+                report.record_problem(
+                    f"row {int(index)}",
+                    f"bad timestamp {packets['time'][index]!r}")
+            report.skipped += n_bad - min(n_bad, 8)
+            packets = packets[~bad]
         order = np.argsort(packets["time"], kind="stable")
         self._packets = packets[order]
+        report.loaded = len(self._packets)
+        #: accounting of what construction/loading kept and dropped
+        self.ingest_report: IngestReport = report
         self.sampling_rate = sampling_rate
 
     @property
@@ -126,15 +171,64 @@ class DataPlaneCorpus:
     # -- persistence ----------------------------------------------------------------
 
     def save_npz(self, path: str | Path) -> None:
-        np.savez_compressed(path, packets=self._packets,
-                            sampling_rate=self.sampling_rate)
+        write_packets_npz(self._packets, self.sampling_rate, path)
 
     @classmethod
-    def load_npz(cls, path: str | Path) -> "DataPlaneCorpus":
+    def load_npz(cls, path: str | Path, *,
+                 on_error: str = "strict") -> "DataPlaneCorpus":
+        """Load an ``.npz`` store under an error policy.
+
+        Unreadable archives (missing file, flipped bytes, bad zip
+        members) raise :class:`~repro.errors.IngestError` regardless of
+        policy — there is nothing salvageable.  Row-level problems follow
+        ``on_error`` as in :meth:`__init__`.  Archives holding parallel
+        column arrays instead of a packed ``packets`` record array are
+        assembled via :func:`packets_from_arrays`; mismatched column
+        lengths become :class:`CorpusError` rather than numpy errors.
+        """
+        check_policy(on_error)
+        packets, rate = read_packets_npz(path)
+        report = IngestReport(source=str(path), policy=on_error)
+        report.total = len(packets)
+        return cls(packets, sampling_rate=rate, on_error=on_error,
+                   ingest_report=report)
+
+
+# -- raw array I/O ----------------------------------------------------------------
+
+
+def write_packets_npz(packets: np.ndarray, sampling_rate: int,
+                      path: str | Path) -> None:
+    """Write a packet array verbatim (fault injection uses this to persist
+    deliberately-degraded stores that :class:`DataPlaneCorpus` would
+    refuse to construct strictly)."""
+    np.savez_compressed(path, packets=packets, sampling_rate=sampling_rate)
+
+
+def read_packets_npz(path: str | Path) -> Tuple[np.ndarray, int]:
+    """Read ``(packets, sampling_rate)`` from an ``.npz`` archive, wrapping
+    every decode failure in a typed error."""
+    try:
         with np.load(path) as archive:
-            try:
+            names = set(archive.files)
+            if "packets" in names:
                 packets = archive["packets"]
+            else:
+                columns = sorted(names & set(PACKET_DTYPE.names))
+                if not columns:
+                    raise IngestError(
+                        f"{path}: no 'packets' array and no recognizable "
+                        f"packet columns (found {sorted(names)})")
+                try:
+                    packets = packets_from_arrays(
+                        {name: archive[name] for name in columns})
+                except ValueError as exc:
+                    raise CorpusError(f"{path}: {exc}") from exc
+            if "sampling_rate" in names:
                 rate = int(archive["sampling_rate"])
-            except KeyError as exc:
-                raise CorpusError(f"{path}: missing array {exc}") from exc
-        return cls(packets, sampling_rate=rate)
+            else:
+                raise IngestError(f"{path}: missing array 'sampling_rate'")
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError,
+            KeyError) as exc:
+        raise IngestError(f"{path}: unreadable archive: {exc}") from exc
+    return packets, rate

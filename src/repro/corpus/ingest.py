@@ -1,0 +1,111 @@
+"""Per-record error policies and ingest accounting shared by both loaders.
+
+Every corpus loader accepts an ``on_error`` policy:
+
+``strict``
+    The first malformed record raises :class:`~repro.errors.IngestError`
+    (a :class:`~repro.errors.CorpusError`).  The default — a clean corpus
+    must load silently, a dirty one must not load at all.
+``skip``
+    Malformed records are dropped; counts and capped per-record reasons
+    accumulate in an :class:`IngestReport` attached to the corpus.
+``collect``
+    Like ``skip``, but the raw offending payloads are also retained (and
+    written to a quarantine file when the loader is given one) for offline
+    forensics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import IngestError
+
+#: the three supported per-record error policies
+POLICIES = ("strict", "skip", "collect")
+
+#: cap on per-record detail kept in memory; counts are always exact
+MAX_PROBLEMS = 50
+#: cap on raw quarantined payloads kept in memory under ``collect``
+MAX_QUARANTINED = 1_000
+
+
+def check_policy(policy: str) -> str:
+    """Validate an ``on_error`` policy name, returning it unchanged."""
+    if policy not in POLICIES:
+        raise IngestError(
+            f"unknown error policy {policy!r}; expected one of {POLICIES}")
+    return policy
+
+
+@dataclass(frozen=True)
+class IngestProblem:
+    """One malformed record: where it was and why it was rejected."""
+
+    location: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.reason}"
+
+
+@dataclass
+class IngestReport:
+    """What ingestion kept, dropped, and why.
+
+    ``total`` counts records seen, ``loaded`` records kept, ``skipped``
+    records rejected.  ``problems`` holds the first :data:`MAX_PROBLEMS`
+    reasons; ``skipped`` stays exact even past the cap.
+    """
+
+    source: str
+    policy: str
+    total: int = 0
+    loaded: int = 0
+    skipped: int = 0
+    problems: List[IngestProblem] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    quarantine_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every record seen was loaded."""
+        return self.skipped == 0
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.skipped / self.total if self.total else 0.0
+
+    def record_problem(self, location: str, reason: str,
+                       payload: Optional[str] = None) -> None:
+        self.skipped += 1
+        if len(self.problems) < MAX_PROBLEMS:
+            self.problems.append(IngestProblem(location=location, reason=reason))
+        if (payload is not None and self.policy == "collect"
+                and len(self.quarantined) < MAX_QUARANTINED):
+            self.quarantined.append(payload)
+
+    def merge_from(self, other: "IngestReport") -> None:
+        """Fold a later validation pass into this report (counts add;
+        ``loaded`` is overwritten by the caller once final)."""
+        self.skipped += other.skipped
+        for problem in other.problems:
+            if len(self.problems) < MAX_PROBLEMS:
+                self.problems.append(problem)
+        for payload in other.quarantined:
+            if len(self.quarantined) < MAX_QUARANTINED:
+                self.quarantined.append(payload)
+
+    def format(self) -> str:
+        lines = [
+            f"ingest {self.source} [{self.policy}]: "
+            f"{self.loaded}/{self.total} records loaded, {self.skipped} skipped"
+        ]
+        for problem in self.problems:
+            lines.append(f"  {problem}")
+        if self.skipped > len(self.problems):
+            lines.append(f"  … and {self.skipped - len(self.problems)} more")
+        if self.quarantine_path:
+            lines.append(f"  quarantine: {self.quarantine_path}")
+        return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Corpus manifests and integrity validation.
+
+``generate`` writes a ``manifest.json`` next to the corpus files: per-file
+SHA-256 checksums and sizes plus record counts.  :func:`validate_corpus`
+replays the contract — files present, checksums matching, every record
+parseable, timestamps sane, no suspicious feed gaps — and returns a
+:class:`ValidationReport` the CLI turns into an exit code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.corpus.ingest import IngestReport
+from repro.errors import ReproError
+
+#: canonical corpus file names (the CLI re-exports these)
+CONTROL_FILE = "control.jsonl"
+DATA_FILE = "data.npz"
+META_FILE = "platform.json"
+MANIFEST_FILE = "manifest.json"
+
+#: a feed gap is suspicious when it exceeds both this many seconds (six
+#: hours — longer than any diurnal lull the traffic model produces) …
+MIN_SUSPICIOUS_GAP = 6 * 3_600.0
+#: … and this multiple of the corpus's median inter-record gap
+GAP_FACTOR = 50.0
+
+
+def file_sha256(path: str | Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def build_manifest(corpus_dir: str | Path,
+                   counts: Optional[Dict[str, int]] = None) -> dict:
+    """Checksum every regular file in the corpus directory (except the
+    manifest itself)."""
+    corpus_dir = Path(corpus_dir)
+    files = {}
+    for entry in sorted(corpus_dir.iterdir()):
+        if entry.is_file() and entry.name != MANIFEST_FILE:
+            files[entry.name] = {
+                "sha256": file_sha256(entry),
+                "bytes": entry.stat().st_size,
+            }
+    return {"version": 1, "files": files, "counts": dict(counts or {})}
+
+
+def write_manifest(corpus_dir: str | Path,
+                   counts: Optional[Dict[str, int]] = None) -> Path:
+    corpus_dir = Path(corpus_dir)
+    path = corpus_dir / MANIFEST_FILE
+    path.write_text(json.dumps(build_manifest(corpus_dir, counts), indent=2))
+    return path
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found while validating a corpus directory."""
+
+    severity: str  # "error" | "warning"
+    code: str      # stable machine-readable tag, e.g. "checksum-mismatch"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Everything `repro validate` learned about a corpus directory."""
+
+    corpus_dir: str
+    issues: List[ValidationIssue] = field(default_factory=list)
+    control_ingest: Optional[IngestReport] = None
+    data_ingest: Optional[IngestReport] = None
+    control_gaps: List[Tuple[float, float]] = field(default_factory=list)
+    data_gaps: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity issue was found (warnings pass)."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    def error(self, code: str, message: str) -> None:
+        self.issues.append(ValidationIssue("error", code, message))
+
+    def warning(self, code: str, message: str) -> None:
+        self.issues.append(ValidationIssue("warning", code, message))
+
+    def format(self) -> str:
+        lines = [f"validate {self.corpus_dir}: "
+                 f"{'OK' if self.ok else 'CORRUPT'}"]
+        for issue in self.issues:
+            lines.append(f"  {issue}")
+        for name, report in (("control", self.control_ingest),
+                             ("data", self.data_ingest)):
+            if report is not None:
+                lines.append(f"  {name}: {report.loaded}/{report.total} "
+                             f"records loaded, {report.skipped} bad")
+        for name, gaps in (("control", self.control_gaps),
+                           ("data", self.data_gaps)):
+            for start, end in gaps[:5]:
+                lines.append(f"  {name} feed gap: "
+                             f"[{start:.0f}, {end:.0f}] "
+                             f"({end - start:.0f}s)")
+        return "\n".join(lines)
+
+
+def _find_gaps(times: np.ndarray,
+               min_gap: float = MIN_SUSPICIOUS_GAP,
+               factor: float = GAP_FACTOR) -> List[Tuple[float, float]]:
+    """Sorted-timestamp gaps that dwarf the feed's own cadence."""
+    if len(times) < 3:
+        return []
+    diffs = np.diff(times)
+    positive = diffs[diffs > 0]
+    if len(positive) == 0:
+        return []
+    threshold = max(min_gap, factor * float(np.median(positive)))
+    out = []
+    for i in np.flatnonzero(diffs > threshold):
+        out.append((float(times[i]), float(times[i + 1])))
+    return out
+
+
+def validate_corpus(corpus_dir: str | Path, *,
+                    min_gap: float = MIN_SUSPICIOUS_GAP,
+                    gap_factor: float = GAP_FACTOR) -> ValidationReport:
+    """Integrity-check a corpus directory without loading it strictly.
+
+    Checks, in order: directory and required files exist; manifest
+    checksums match; every record parses (lenient load, bad records
+    counted as errors); timestamps are finite; record counts match the
+    manifest; and neither feed has gaps wildly out of scale with its own
+    cadence (reported as warnings — a quiet night is not corruption).
+    """
+    from repro.corpus.control import ControlPlaneCorpus
+    from repro.corpus.data import DataPlaneCorpus
+
+    corpus_dir = Path(corpus_dir)
+    report = ValidationReport(corpus_dir=str(corpus_dir))
+    if not corpus_dir.is_dir():
+        report.error("missing-dir", f"{corpus_dir} is not a directory")
+        return report
+
+    for required in (CONTROL_FILE, DATA_FILE, META_FILE):
+        if not (corpus_dir / required).exists():
+            report.error("missing-file", f"{required} not found")
+    if not report.ok:
+        return report
+
+    manifest: Optional[dict] = None
+    manifest_path = corpus_dir / MANIFEST_FILE
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            report.error("bad-manifest", f"{MANIFEST_FILE} unreadable: {exc}")
+    else:
+        report.warning("no-manifest",
+                       f"{MANIFEST_FILE} absent; checksums not verifiable")
+
+    if manifest is not None:
+        for name, meta in manifest.get("files", {}).items():
+            path = corpus_dir / name
+            if not path.exists():
+                report.error("missing-file",
+                             f"{name} listed in manifest but absent")
+                continue
+            if path.stat().st_size != meta.get("bytes"):
+                report.error("size-mismatch",
+                             f"{name}: {path.stat().st_size} bytes on disk, "
+                             f"{meta.get('bytes')} in manifest")
+            elif file_sha256(path) != meta.get("sha256"):
+                report.error("checksum-mismatch",
+                             f"{name}: SHA-256 differs from manifest")
+
+    try:
+        json.loads((corpus_dir / META_FILE).read_text())
+    except (OSError, ValueError) as exc:
+        report.error("bad-metadata", f"{META_FILE} unreadable: {exc}")
+
+    control = None
+    try:
+        control = ControlPlaneCorpus.load_jsonl(
+            corpus_dir / CONTROL_FILE, on_error="skip")
+        report.control_ingest = control.ingest_report
+        if not control.ingest_report.ok:
+            report.error(
+                "bad-records",
+                f"{CONTROL_FILE}: {control.ingest_report.skipped} of "
+                f"{control.ingest_report.total} records malformed")
+        if len(control) == 0:
+            report.error("empty-corpus", f"{CONTROL_FILE}: no usable records")
+    except ReproError as exc:
+        report.error("unreadable", f"{CONTROL_FILE}: {exc}")
+
+    data = None
+    try:
+        data = DataPlaneCorpus.load_npz(corpus_dir / DATA_FILE,
+                                        on_error="skip")
+        report.data_ingest = data.ingest_report
+        if not data.ingest_report.ok:
+            report.error(
+                "bad-records",
+                f"{DATA_FILE}: {data.ingest_report.skipped} of "
+                f"{data.ingest_report.total} records malformed")
+        if len(data) == 0:
+            report.error("empty-corpus", f"{DATA_FILE}: no usable records")
+    except ReproError as exc:
+        report.error("unreadable", f"{DATA_FILE}: {exc}")
+
+    if manifest is not None:
+        counts = manifest.get("counts", {})
+        recorded = counts.get("control_messages")
+        if control is not None and recorded is not None \
+                and control.ingest_report.total != recorded:
+            report.error("count-mismatch",
+                         f"{CONTROL_FILE}: {control.ingest_report.total} "
+                         f"records on disk, {recorded} in manifest")
+        recorded = counts.get("data_packets")
+        if data is not None and recorded is not None \
+                and data.ingest_report.total != recorded:
+            report.error("count-mismatch",
+                         f"{DATA_FILE}: {data.ingest_report.total} "
+                         f"records on disk, {recorded} in manifest")
+
+    if control is not None and len(control) >= 3:
+        times = np.array([m.time for m in control])
+        report.control_gaps = _find_gaps(times, min_gap, gap_factor)
+        for start, end in report.control_gaps:
+            report.warning("feed-gap",
+                           f"{CONTROL_FILE}: {end - start:.0f}s silence at "
+                           f"t={start:.0f}")
+    if data is not None and len(data) >= 3:
+        report.data_gaps = _find_gaps(data.packets["time"], min_gap,
+                                      gap_factor)
+        for start, end in report.data_gaps:
+            report.warning("feed-gap",
+                           f"{DATA_FILE}: {end - start:.0f}s silence at "
+                           f"t={start:.0f}")
+
+    if control is not None and data is not None \
+            and len(control) and len(data):
+        overlap_start = max(control.start_time, data.start_time)
+        overlap_end = min(control.end_time, data.end_time)
+        if overlap_end <= overlap_start:
+            report.warning("span-mismatch",
+                           "control and data feeds do not overlap in time")
+
+    return report

@@ -36,5 +36,19 @@ class CorpusError(ReproError):
     """A corpus is missing data required by an analysis step."""
 
 
+class IngestError(CorpusError):
+    """A corpus file could not be read or contained malformed records.
+
+    Raised by the loaders under the ``strict`` error policy; under
+    ``skip``/``collect`` the offending records are dropped (and optionally
+    quarantined) and summarised in an :class:`repro.corpus.ingest.IngestReport`
+    instead.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection spec is invalid or not applicable to its target."""
+
+
 class AnalysisError(ReproError):
     """An analysis step received inputs it cannot process."""

@@ -1,0 +1,173 @@
+"""Fault injectors for the control-plane message log.
+
+Every injector is a pure function ``(messages, rng, spec) -> (messages',
+affected, detail)`` over a list of :class:`~repro.bgp.message.BGPUpdate`.
+They operate on the *raw message sequence* — not on a
+:class:`~repro.corpus.control.ControlPlaneCorpus` — because several faults
+(reordering, corruption) are only observable before ingestion sorts and
+validates the feed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bgp.message import BGPUpdate, UpdateAction
+from repro.errors import FaultInjectionError
+from repro.faults.spec import FaultKind, FaultSpec
+
+#: default 1-sigma timestamp jitter at intensity 1.0, seconds
+JITTER_SCALE = 60.0
+#: default total clock drift accumulated over the trace at intensity 1.0, seconds
+DRIFT_SCALE = 30.0
+
+_Result = Tuple[List[BGPUpdate], int, str]
+
+
+def _span(messages: Sequence[BGPUpdate]) -> Tuple[float, float]:
+    times = [m.time for m in messages if math.isfinite(m.time)]
+    if not times:
+        return 0.0, 0.0
+    return min(times), max(times)
+
+
+def inject_drop(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                spec: FaultSpec) -> _Result:
+    keep = rng.random(len(messages)) >= spec.intensity
+    out = [m for m, k in zip(messages, keep) if k]
+    return out, len(messages) - len(out), "records dropped"
+
+
+def inject_outage(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                  spec: FaultSpec) -> _Result:
+    t0, t1 = _span(messages)
+    width = spec.intensity * (t1 - t0)
+    start = t0 + rng.random() * max(0.0, (t1 - t0) - width)
+    end = start + width
+    out = [m for m in messages if not (start <= m.time < end)]
+    return out, len(messages) - len(out), (
+        f"outage window [{start:.0f}, {end:.0f})")
+
+
+def inject_duplicate(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                     spec: FaultSpec) -> _Result:
+    dup = rng.random(len(messages)) < spec.intensity
+    out: List[BGPUpdate] = []
+    for msg, d in zip(messages, dup):
+        out.append(msg)
+        if d:
+            out.append(msg)
+    return out, int(dup.sum()), "records duplicated"
+
+
+def inject_reorder(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                   spec: FaultSpec) -> _Result:
+    """Displace a fraction of records from their time-ordered position.
+
+    Each affected record is moved up to ``params['window']`` (default 32)
+    positions away — the local shuffling a multi-threaded dumper produces.
+    Timestamps are untouched; only the on-the-wire order degrades.
+    """
+    window = int(spec.params.get("window", 32))
+    out = list(messages)
+    picked = np.flatnonzero(rng.random(len(out)) < spec.intensity)
+    for i in picked:
+        j = int(np.clip(i + rng.integers(-window, window + 1), 0, len(out) - 1))
+        out[i], out[j] = out[j], out[i]
+    return out, len(picked), f"records displaced (window={window})"
+
+
+def inject_jitter(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                  spec: FaultSpec) -> _Result:
+    sigma = spec.intensity * float(spec.params.get("scale", JITTER_SCALE))
+    noise = rng.normal(0.0, sigma, size=len(messages))
+    out = [dataclasses.replace(m, time=m.time + float(dt))
+           for m, dt in zip(messages, noise)]
+    return out, len(out), f"timestamps jittered (sigma={sigma:.2f}s)"
+
+
+def inject_clock_drift(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                       spec: FaultSpec) -> _Result:
+    """Monotonic linear drift: the trace end is late by ``intensity*scale``."""
+    total = spec.intensity * float(spec.params.get("scale", DRIFT_SCALE))
+    t0, t1 = _span(messages)
+    span = max(t1 - t0, 1.0)
+    out = [dataclasses.replace(m, time=m.time + total * (m.time - t0) / span)
+           for m in messages]
+    return out, len(out), f"clock drift (total={total:.2f}s)"
+
+
+def inject_corrupt(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                   spec: FaultSpec) -> _Result:
+    """Replace a fraction of timestamps with non-finite garbage.
+
+    The corruption is deliberately *detectable* (NaN/±inf) so hardened
+    ingestion can quarantine exactly the rotten records; silently-plausible
+    corruption is a semantic attack, not a feed fault.
+    """
+    bad = rng.random(len(messages)) < spec.intensity
+    garbage = (float("nan"), float("inf"), float("-inf"))
+    out = [
+        dataclasses.replace(m, time=garbage[int(rng.integers(len(garbage)))])
+        if b else m
+        for m, b in zip(messages, bad)
+    ]
+    return out, int(bad.sum()), "timestamps corrupted to non-finite"
+
+
+def inject_truncate(messages: Sequence[BGPUpdate], rng: np.random.Generator,
+                    spec: FaultSpec) -> _Result:
+    keep = len(messages) - int(round(spec.intensity * len(messages)))
+    out = list(messages[:keep])
+    return out, len(messages) - keep, "tail records truncated"
+
+
+def inject_stuck_session(messages: Sequence[BGPUpdate],
+                         rng: np.random.Generator,
+                         spec: FaultSpec) -> _Result:
+    """Lose every withdrawal from a fraction of peers (≥ 1 peer).
+
+    The classic zombie-route generator: the session to the collector dies,
+    announcements persist in the dump, withdrawals never arrive.
+    """
+    peers = sorted({m.peer_asn for m in messages})
+    if not peers:
+        return list(messages), 0, "no peers"
+    n_stuck = max(1, int(round(spec.intensity * len(peers))))
+    stuck = set(rng.choice(peers, size=min(n_stuck, len(peers)),
+                           replace=False).tolist())
+    out = [m for m in messages
+           if not (m.peer_asn in stuck and m.action is UpdateAction.WITHDRAW)]
+    return out, len(messages) - len(out), (
+        f"withdrawals lost for {len(stuck)} stuck peer(s)")
+
+
+_INJECTORS = {
+    FaultKind.DROP: inject_drop,
+    FaultKind.OUTAGE: inject_outage,
+    FaultKind.DUPLICATE: inject_duplicate,
+    FaultKind.REORDER: inject_reorder,
+    FaultKind.JITTER: inject_jitter,
+    FaultKind.CLOCK_DRIFT: inject_clock_drift,
+    FaultKind.CORRUPT: inject_corrupt,
+    FaultKind.TRUNCATE: inject_truncate,
+    FaultKind.STUCK_SESSION: inject_stuck_session,
+}
+
+
+def apply_control_fault(messages: Sequence[BGPUpdate],
+                        rng: np.random.Generator,
+                        spec: FaultSpec) -> _Result:
+    """Dispatch one spec against a control-plane message sequence."""
+    try:
+        injector = _INJECTORS[spec.kind]
+    except KeyError:
+        raise FaultInjectionError(
+            f"fault kind {spec.kind.value!r} is not applicable to the "
+            "control plane"
+        ) from None
+    return injector(messages, rng, spec)

@@ -440,7 +440,10 @@ def _plan_events(rng: np.random.Generator, config: ScenarioConfig,
     for _ in range(config.targeted_experiment_events):
         origin = exp_origins[int(rng.integers(len(exp_origins)))]
         host_ip = origin.block.network_int + int(rng.integers(4, 1020))
-        start = float(rng.uniform(3.0 * DAY, min(20.0 * DAY, config.duration - DAY)))
+        # corpora at the 3-day minimum leave no room after the 72h
+        # pre-window; start as late as the duration allows instead
+        latest = min(20.0 * DAY, config.duration - DAY)
+        start = float(rng.uniform(min(3.0 * DAY, latest), latest))
         hold = float(rng.uniform(2.0 * DAY, 10.0 * DAY))
         end = min(start + hold, config.duration)
         hidden = rng.random()  # fraction of peers excluded: 20%–70%

@@ -1,0 +1,95 @@
+"""StudyReport semantics: capture, status accounting, and lookup API."""
+
+import pytest
+
+from repro.core.study import (
+    AnalysisOutcome,
+    AnalysisStatus,
+    StudyReport,
+    run_analysis,
+)
+from repro.errors import AnalysisError, ReproError
+
+
+class TestRunAnalysis:
+    def test_ok(self):
+        outcome = run_analysis("x", lambda: 41 + 1, strict=False,
+                               degraded_inputs=False)
+        assert outcome.status is AnalysisStatus.OK
+        assert outcome.value == 42
+        assert outcome.ok
+
+    def test_degraded_inputs_mark_success_degraded(self):
+        outcome = run_analysis("x", lambda: 1, strict=False,
+                               degraded_inputs=True)
+        assert outcome.status is AnalysisStatus.DEGRADED
+        assert outcome.ok
+
+    def test_typed_error_captured_lenient(self):
+        def boom():
+            raise AnalysisError("no data")
+        outcome = run_analysis("x", boom, strict=False, degraded_inputs=False)
+        assert outcome.status is AnalysisStatus.FAILED
+        assert not outcome.ok
+        assert outcome.error == "no data"
+        assert outcome.error_type == "AnalysisError"
+
+    def test_typed_error_reraised_strict(self):
+        def boom():
+            raise AnalysisError("no data")
+        with pytest.raises(AnalysisError):
+            run_analysis("x", boom, strict=True, degraded_inputs=False)
+
+    def test_untyped_error_always_propagates(self):
+        def bug():
+            raise TypeError("a programming error")
+        with pytest.raises(TypeError):
+            run_analysis("x", bug, strict=False, degraded_inputs=False)
+
+
+class TestStudyReport:
+    def _report(self):
+        report = StudyReport()
+        report.outcomes.append(AnalysisOutcome("a", AnalysisStatus.OK,
+                                               value=1))
+        report.outcomes.append(AnalysisOutcome("b", AnalysisStatus.DEGRADED,
+                                               value=2))
+        report.outcomes.append(AnalysisOutcome(
+            "c", AnalysisStatus.FAILED, error="nope",
+            error_type="CorpusError"))
+        return report
+
+    def test_counts_and_ok(self):
+        report = self._report()
+        counts = report.counts()
+        assert counts[AnalysisStatus.OK] == 1
+        assert counts[AnalysisStatus.DEGRADED] == 1
+        assert counts[AnalysisStatus.FAILED] == 1
+        assert not report.ok
+        assert len(report) == 3
+
+    def test_value_lookup(self):
+        report = self._report()
+        assert report.value("a") == 1
+        assert report.value("b") == 2  # degraded still usable
+        assert report.value("c") is None  # failed → default
+        assert report.value("c", default=-1) == -1
+        assert report.value("zzz", default="?") == "?"
+
+    def test_outcome_lookup(self):
+        report = self._report()
+        assert report.outcome("b").status is AnalysisStatus.DEGRADED
+        with pytest.raises(KeyError):
+            report.outcome("zzz")
+
+    def test_failed_listing(self):
+        failed = self._report().failed()
+        assert [o.name for o in failed] == ["c"]
+
+    def test_format(self):
+        report = self._report()
+        report.warnings.append("control ingest dropped 5 of 100 records")
+        text = report.format()
+        assert "1 ok, 1 degraded, 1 failed" in text
+        assert "CorpusError: nope" in text
+        assert "dropped 5 of 100" in text

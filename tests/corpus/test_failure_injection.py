@@ -2,6 +2,8 @@
 fail loudly (library exceptions) or degrade gracefully — never corrupt an
 analysis silently."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -11,8 +13,11 @@ from repro.core.events import extract_events, merge_threshold_sweep
 from repro.core.load import rtbh_load_series
 from repro.core.pre_rtbh import classify_pre_rtbh_events
 from repro.corpus import ControlPlaneCorpus, DataPlaneCorpus
+from repro.corpus.control import write_updates_jsonl
+from repro.corpus.data import write_packets_npz
 from repro.dataplane.packet import packets_from_arrays
 from repro.errors import AnalysisError, CorpusError, ReproError
+from repro.faults import FaultSpec, inject_control_messages, inject_packets
 from repro.net import IPv4Address, IPv4Prefix
 
 HOST = IPv4Prefix("203.0.113.7/32")
@@ -107,3 +112,49 @@ class TestDataPlaneHostility:
         np.savez(path, packets=np.zeros(3))  # wrong dtype inside
         with pytest.raises(ReproError):
             DataPlaneCorpus.load_npz(path)
+
+
+#: faults whose damage is exactly recoverable: corruption is detectable
+#: (non-finite times), drops/reorders leave the survivors untouched
+ROUNDTRIP_SPECS = [
+    FaultSpec("drop", 0.1),
+    FaultSpec("corrupt", 0.15),
+    FaultSpec("reorder", 0.2),
+]
+
+
+@pytest.mark.parametrize("seed", [1, 17, 4242])
+class TestFaultRoundTripProperty:
+    """Property: for any seed, `scenario corpus → inject → save → lenient
+    load` recovers *exactly* the clean-record subset — lenient ingestion
+    never invents, loses, or reorders a good record."""
+
+    def test_control_roundtrip(self, tiny_result, tmp_path, seed):
+        messages = list(tiny_result.control)
+        degraded, report = inject_control_messages(messages, ROUNDTRIP_SPECS,
+                                                   seed=seed)
+        assert report.total_affected > 0
+        path = tmp_path / "degraded.jsonl"
+        write_updates_jsonl(degraded, path)
+
+        corpus = ControlPlaneCorpus.load_jsonl(path, on_error="skip")
+        expected = sorted((m for m in degraded if math.isfinite(m.time)),
+                          key=lambda m: m.time)
+        assert list(corpus) == expected
+        assert corpus.ingest_report.total == len(degraded)
+        assert corpus.ingest_report.skipped == len(degraded) - len(expected)
+
+    def test_data_roundtrip(self, tiny_result, tmp_path, seed):
+        packets = tiny_result.data.packets
+        degraded, report = inject_packets(packets, ROUNDTRIP_SPECS, seed=seed)
+        assert report.total_affected > 0
+        path = tmp_path / "degraded.npz"
+        write_packets_npz(degraded, tiny_result.data.sampling_rate, path)
+
+        corpus = DataPlaneCorpus.load_npz(path, on_error="skip")
+        good = np.isfinite(degraded["time"]) & (degraded["time"] >= 0.0)
+        clean = degraded[good]
+        expected = clean[np.argsort(clean["time"], kind="stable")]
+        assert corpus.packets.tobytes() == expected.tobytes()
+        assert corpus.ingest_report.skipped == int((~good).sum())
+        assert corpus.sampling_rate == tiny_result.data.sampling_rate

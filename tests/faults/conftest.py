@@ -1,0 +1,39 @@
+"""Shared fixtures for the fault-injection suite: one small scenario built
+once per package, with its raw message list / packet array and a clean
+baseline study report to compare degraded runs against."""
+
+import pytest
+
+from repro import AnalysisPipeline, ScenarioConfig, run_scenario
+
+
+@pytest.fixture(scope="package")
+def small_result():
+    return run_scenario(
+        ScenarioConfig.paper(scale=0.003, duration_days=5.0, seed=13))
+
+
+@pytest.fixture(scope="package")
+def clean_messages(small_result):
+    return list(small_result.control)
+
+
+@pytest.fixture(scope="package")
+def clean_packets(small_result):
+    return small_result.data.packets
+
+
+@pytest.fixture(scope="package")
+def baseline_report(small_result):
+    pipeline = AnalysisPipeline(
+        small_result.control, small_result.data,
+        peer_asns=small_result.ixp.member_asns,
+        peeringdb=small_result.ixp.peeringdb, host_min_days=3)
+    return pipeline.run_all(strict=False)
+
+
+def make_pipeline(result, control, data):
+    return AnalysisPipeline(
+        control, data,
+        peer_asns=result.ixp.member_asns,
+        peeringdb=result.ixp.peeringdb, host_min_days=3)

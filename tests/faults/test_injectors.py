@@ -1,0 +1,224 @@
+"""Unit tests for the fault injectors: determinism, per-kind effect, and
+spec validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bgp import BLACKHOLE
+from repro.bgp.message import UpdateAction, announce, withdraw
+from repro.dataplane.packet import packets_from_arrays
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    DATA_KINDS,
+    FaultKind,
+    FaultSpec,
+    inject_control_messages,
+    inject_packets,
+)
+from repro.net import IPv4Address, IPv4Prefix
+
+PREFIX = IPv4Prefix("203.0.113.0/32")
+NH = IPv4Address("192.0.2.1")
+
+
+def _messages(n=400, peers=(100, 200, 300, 400)):
+    out = []
+    for i in range(n):
+        peer = peers[i % len(peers)]
+        t = 10.0 * i
+        if i % 2 == 0:
+            out.append(announce(t, peer, PREFIX, NH,
+                                communities=frozenset({BLACKHOLE})))
+        else:
+            out.append(withdraw(t, peer, PREFIX))
+    return out
+
+
+def _packets(n=2000, seed=5):
+    rng = np.random.default_rng(seed)
+    return packets_from_arrays({
+        "time": np.sort(rng.uniform(0.0, 86_400.0, n)),
+        "src_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+        "dst_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+        "size": rng.integers(40, 1500, n).astype(np.uint16),
+    })
+
+
+class TestSpec:
+    def test_intensity_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("drop", 0.0)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("drop", 1.5)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("drop", -0.1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("gremlins", 0.5)
+
+    def test_parse(self):
+        spec = FaultSpec.parse("jitter:0.25")
+        assert spec.kind is FaultKind.JITTER
+        assert spec.intensity == 0.25
+        assert FaultSpec.parse("drop").intensity == 0.1
+        with pytest.raises(FaultInjectionError):
+            FaultSpec.parse("drop:lots")
+
+    def test_stuck_session_not_applicable_to_data(self):
+        assert FaultKind.STUCK_SESSION not in DATA_KINDS
+        with pytest.raises(FaultInjectionError):
+            inject_packets(_packets(50), [FaultSpec("stuck_session", 0.5)])
+
+
+class TestDeterminism:
+    def test_control_same_seed_same_output(self):
+        msgs = _messages()
+        specs = [FaultSpec("drop", 0.2), FaultSpec("jitter", 0.3)]
+        out1, rep1 = inject_control_messages(msgs, specs, seed=42)
+        out2, rep2 = inject_control_messages(msgs, specs, seed=42)
+        assert out1 == out2
+        assert [a.affected for a in rep1.applications] == \
+               [a.affected for a in rep2.applications]
+
+    def test_control_different_seed_differs(self):
+        msgs = _messages()
+        out1, _ = inject_control_messages(msgs, [FaultSpec("drop", 0.3)],
+                                          seed=1)
+        out2, _ = inject_control_messages(msgs, [FaultSpec("drop", 0.3)],
+                                          seed=2)
+        assert out1 != out2
+
+    def test_packets_same_seed_same_output(self):
+        pkts = _packets()
+        specs = [FaultSpec("corrupt", 0.1), FaultSpec("duplicate", 0.2)]
+        out1, _ = inject_packets(pkts, specs, seed=9)
+        out2, _ = inject_packets(pkts, specs, seed=9)
+        # byte-level comparison: NaN-corrupted rows must match too
+        assert out1.tobytes() == out2.tobytes()
+
+    def test_input_never_mutated(self):
+        pkts = _packets()
+        before = pkts.copy()
+        inject_packets(pkts, [FaultSpec("corrupt", 0.5),
+                              FaultSpec("reorder", 0.5)], seed=3)
+        np.testing.assert_array_equal(pkts, before)
+        msgs = _messages()
+        snapshot = list(msgs)
+        inject_control_messages(msgs, [FaultSpec("jitter", 0.5)], seed=3)
+        assert msgs == snapshot
+
+
+class TestControlEffects:
+    def test_drop_removes_about_intensity(self):
+        msgs = _messages(1000)
+        out, report = inject_control_messages(msgs, [FaultSpec("drop", 0.3)],
+                                              seed=0)
+        assert len(out) == 1000 - report.applications[0].affected
+        assert 0.2 < report.applications[0].affected / 1000 < 0.4
+
+    def test_outage_removes_contiguous_window(self):
+        msgs = _messages(1000)
+        out, report = inject_control_messages(msgs, [FaultSpec("outage", 0.2)],
+                                              seed=1)
+        assert report.applications[0].affected > 0
+        removed = set(m.time for m in msgs) - set(m.time for m in out)
+        assert max(removed) - min(removed) <= 0.25 * (msgs[-1].time - msgs[0].time)
+
+    def test_duplicate_adds_copies(self):
+        msgs = _messages(500)
+        out, report = inject_control_messages(
+            msgs, [FaultSpec("duplicate", 0.2)], seed=2)
+        assert len(out) == 500 + report.applications[0].affected
+
+    def test_reorder_keeps_multiset(self):
+        msgs = _messages(500)
+        out, report = inject_control_messages(
+            msgs, [FaultSpec("reorder", 0.3)], seed=3)
+        assert sorted(out, key=lambda m: (m.time, m.action.value)) == \
+               sorted(msgs, key=lambda m: (m.time, m.action.value))
+        assert out != msgs  # order actually changed
+
+    def test_jitter_perturbs_times_only(self):
+        msgs = _messages(500)
+        out, _ = inject_control_messages(msgs, [FaultSpec("jitter", 0.5)],
+                                         seed=4)
+        assert len(out) == 500
+        assert any(a.time != b.time for a, b in zip(msgs, out))
+        assert all(a.prefix == b.prefix and a.peer_asn == b.peer_asn
+                   for a, b in zip(msgs, out))
+
+    def test_clock_drift_is_monotonic(self):
+        msgs = _messages(500)
+        out, _ = inject_control_messages(msgs, [FaultSpec("clock_drift", 1.0)],
+                                         seed=5)
+        times = [m.time for m in out]
+        assert times == sorted(times)
+        # drift accumulates: the end is later than the clean end
+        assert times[-1] > msgs[-1].time
+
+    def test_corrupt_introduces_non_finite_times(self):
+        msgs = _messages(500)
+        out, report = inject_control_messages(msgs, [FaultSpec("corrupt", 0.2)],
+                                              seed=6)
+        bad = [m for m in out if not math.isfinite(m.time)]
+        assert len(bad) == report.applications[0].affected > 0
+
+    def test_truncate_cuts_the_tail(self):
+        msgs = _messages(500)
+        out, _ = inject_control_messages(msgs, [FaultSpec("truncate", 0.4)],
+                                         seed=7)
+        assert out == msgs[:300]
+
+    def test_stuck_session_loses_only_withdrawals(self):
+        msgs = _messages(400, peers=(100, 200, 300, 400))
+        out, report = inject_control_messages(
+            msgs, [FaultSpec("stuck_session", 0.5)], seed=8)
+        lost = [m for m in msgs if m not in out]
+        assert lost and all(m.action is UpdateAction.WITHDRAW for m in lost)
+        stuck_peers = {m.peer_asn for m in lost}
+        assert len(stuck_peers) == 2  # half of four peers
+        for peer in stuck_peers:
+            assert not any(m.peer_asn == peer and m.is_withdraw for m in out)
+
+
+class TestDataEffects:
+    def test_drop_and_truncate_shrink(self):
+        pkts = _packets(1000)
+        out, _ = inject_packets(pkts, [FaultSpec("drop", 0.3)], seed=0)
+        assert 500 < len(out) < 900
+        out, _ = inject_packets(pkts, [FaultSpec("truncate", 0.5)], seed=0)
+        assert len(out) == 500
+
+    def test_corrupt_marks_rows_invalid(self):
+        pkts = _packets(1000)
+        out, report = inject_packets(pkts, [FaultSpec("corrupt", 0.2)], seed=1)
+        bad = ~np.isfinite(out["time"]) | (out["time"] < 0)
+        assert int(bad.sum()) == report.applications[0].affected > 0
+
+    def test_duplicate_grows(self):
+        pkts = _packets(1000)
+        out, report = inject_packets(pkts, [FaultSpec("duplicate", 0.25)],
+                                     seed=2)
+        assert len(out) == 1000 + report.applications[0].affected
+
+    def test_outage_gap(self):
+        pkts = _packets(5000)
+        out, _ = inject_packets(pkts, [FaultSpec("outage", 0.3)], seed=3)
+        assert len(out) < 5000
+        gaps = np.diff(np.sort(out["time"]))
+        assert gaps.max() > 0.2 * 86_400.0
+
+    def test_clock_drift_preserves_order(self):
+        pkts = _packets(1000)
+        out, _ = inject_packets(pkts, [FaultSpec("clock_drift", 1.0)], seed=4)
+        assert np.all(np.diff(out["time"]) >= 0)
+
+    def test_chained_specs_apply_in_order(self):
+        pkts = _packets(1000)
+        out, report = inject_packets(
+            pkts, [FaultSpec("truncate", 0.5), FaultSpec("drop", 0.2)], seed=5)
+        assert len(report.applications) == 2
+        assert len(out) == 500 - report.applications[1].affected

@@ -1,0 +1,156 @@
+"""The robustness harness: sweep fault kind × intensity over a real
+scenario corpus and assert the whole study either completes with
+per-figure status (lenient) or fails with *typed* errors (strict).
+
+This is the PR's contract: no fault class may crash ``run_all`` with an
+untyped exception, and lenient ingestion must bound the damage — record
+loss never exceeds what the fault injected.
+"""
+
+import numpy as np
+import pytest
+
+import repro.errors as errors_mod
+from repro import AnalysisStatus, ControlPlaneCorpus, DataPlaneCorpus
+from repro.errors import CorpusError, ReproError
+from repro.faults import DATA_KINDS, FaultKind, FaultSpec, inject_control_messages, inject_packets
+
+from tests.faults.conftest import make_pipeline
+
+SWEEP_KINDS = [
+    FaultKind.DROP,
+    FaultKind.OUTAGE,
+    FaultKind.DUPLICATE,
+    FaultKind.REORDER,
+    FaultKind.JITTER,
+    FaultKind.CLOCK_DRIFT,
+    FaultKind.CORRUPT,
+    FaultKind.TRUNCATE,
+    FaultKind.STUCK_SESSION,
+]
+INTENSITIES = [0.05, 0.3]
+
+
+def _degrade(small_result, clean_messages, clean_packets, spec, seed=21):
+    """Inject one fault into both planes and ingest leniently."""
+    messages, c_report = inject_control_messages(clean_messages, [spec],
+                                                 seed=seed)
+    control = ControlPlaneCorpus(messages, on_error="skip")
+    if spec.kind in DATA_KINDS:
+        packets, d_report = inject_packets(clean_packets, [spec], seed=seed)
+    else:
+        packets, d_report = clean_packets, None
+    data = DataPlaneCorpus(packets.copy(), on_error="skip")
+    return control, data, c_report, d_report
+
+
+@pytest.mark.parametrize("intensity", INTENSITIES)
+@pytest.mark.parametrize("kind", SWEEP_KINDS)
+def test_sweep_lenient_run_all_completes(small_result, clean_messages,
+                                         clean_packets, baseline_report,
+                                         kind, intensity):
+    spec = FaultSpec(kind, intensity)
+    control, data, c_report, _ = _degrade(small_result, clean_messages,
+                                          clean_packets, spec)
+
+    # lenient ingestion bounds the damage: what remains is clean, and the
+    # loss never exceeds what the fault injected
+    injected = c_report.applications[0].affected
+    assert len(control) >= len(clean_messages) - injected - \
+        control.ingest_report.skipped
+    assert control.ingest_report.skipped <= injected
+
+    pipeline = make_pipeline(small_result, control, data)
+    report = pipeline.run_all(strict=False)
+
+    # the full study completes and reports per-figure status — never crashes
+    assert len(report) == len(baseline_report)
+    for outcome in report:
+        assert outcome.status in (AnalysisStatus.OK, AnalysisStatus.DEGRADED,
+                                  AnalysisStatus.FAILED)
+        if outcome.status is AnalysisStatus.FAILED:
+            # every captured failure is a *typed* library error
+            error_cls = getattr(errors_mod, outcome.error_type, None)
+            assert error_cls is not None and issubclass(error_cls, ReproError)
+
+    # stated degradation bound: a single fault class at these intensities
+    # never takes down more than a quarter of the study
+    assert len(report.failed()) <= len(report) // 4
+
+    # the load series is structurally robust to every fault class
+    assert report.outcome("fig3_load").ok
+
+
+@pytest.mark.parametrize("kind", [FaultKind.CORRUPT])
+def test_sweep_strict_raises_typed(small_result, clean_messages,
+                                   clean_packets, kind):
+    """strict=True propagates the first typed error instead of degrading."""
+    spec = FaultSpec(kind, 0.3)
+    messages, _ = inject_control_messages(clean_messages, [spec], seed=21)
+    with pytest.raises(CorpusError):
+        ControlPlaneCorpus(messages, on_error="strict")
+    packets, _ = inject_packets(clean_packets, [spec], seed=21)
+    with pytest.raises(CorpusError):
+        DataPlaneCorpus(packets.copy(), on_error="strict")
+
+
+def test_run_all_strict_raises_on_hopeless_corpus(small_result):
+    """An empty control feed defeats every analysis: strict raises the
+    first typed error, lenient reports each analysis as failed."""
+    from repro.dataplane.packet import packets_from_arrays
+
+    control = ControlPlaneCorpus([])
+    data = DataPlaneCorpus(packets_from_arrays({}))
+    pipeline = make_pipeline(small_result, control, data)
+    with pytest.raises(ReproError):
+        pipeline.run_all(strict=True)
+    report = pipeline.run_all(strict=False)
+    assert len(report.failed()) > 0
+    assert not report.ok
+    for outcome in report.failed():
+        error_cls = getattr(errors_mod, outcome.error_type, None)
+        assert error_cls is not None and issubclass(error_cls, ReproError)
+
+
+def test_degraded_status_marks_lossy_inputs(small_result, clean_messages,
+                                            clean_packets):
+    """Successful analyses over lossy inputs report DEGRADED, not OK."""
+    spec = FaultSpec(FaultKind.CORRUPT, 0.1)
+    control, data, _, _ = _degrade(small_result, clean_messages,
+                                   clean_packets, spec)
+    assert not control.ingest_report.ok
+    pipeline = make_pipeline(small_result, control, data)
+    report = pipeline.run_all(strict=False)
+    assert report.warnings  # ingest losses surfaced
+    assert all(o.status is not AnalysisStatus.OK for o in report)
+    succeeded = [o for o in report if o.ok]
+    assert succeeded
+    assert all(o.status is AnalysisStatus.DEGRADED for o in succeeded)
+
+
+def test_clean_corpus_is_all_ok(baseline_report):
+    counts = baseline_report.counts()
+    assert counts[AnalysisStatus.OK] == len(baseline_report)
+    assert baseline_report.ok
+    assert not baseline_report.warnings
+
+
+def test_stuck_session_produces_zombie_windows(small_result, clean_messages,
+                                               clean_packets):
+    """Missing withdrawals must not wedge event extraction: open windows
+    close at corpus end (the paper's zombie treatment), so active time can
+    only grow."""
+    spec = FaultSpec(FaultKind.STUCK_SESSION, 0.3)
+    control, data, _, _ = _degrade(small_result, clean_messages,
+                                   clean_packets, spec)
+    clean_control = ControlPlaneCorpus(list(clean_messages))
+    pipeline = make_pipeline(small_result, control, data)
+    events = pipeline.events
+    assert events  # extraction survives
+    clean_active = sum(
+        e - s for ws in clean_control.rtbh_windows_by_prefix().values()
+        for s, e, _ in ws)
+    stuck_active = sum(
+        e - s for ws in control.rtbh_windows_by_prefix().values()
+        for s, e, _ in ws)
+    assert stuck_active >= clean_active

@@ -1,10 +1,39 @@
-"""Tests for the command-line interface: generate → analyze round trip."""
+"""Tests for the command-line interface: generate → analyze round trip,
+validate/inject, and the degraded-input error paths with their exit codes."""
 
 import json
+import shutil
 
 import pytest
 
-from repro.cli import CONTROL_FILE, DATA_FILE, META_FILE, main
+from repro.cli import (
+    CONTROL_FILE,
+    DATA_FILE,
+    EXIT_FAILURES,
+    EXIT_OK,
+    EXIT_UNREADABLE,
+    EXIT_USAGE,
+    MANIFEST_FILE,
+    META_FILE,
+    main,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """One small generated corpus shared by the read-only CLI tests."""
+    out = tmp_path_factory.mktemp("cli") / "corpus"
+    assert main(["generate", "--scale", "0.005", "--days", "7",
+                 "--out", str(out)]) == EXIT_OK
+    return out
+
+
+@pytest.fixture
+def corpus_copy(corpus_dir, tmp_path):
+    """A private mutable copy for tests that corrupt the corpus."""
+    dst = tmp_path / "corpus"
+    shutil.copytree(corpus_dir, dst)
+    return dst
 
 
 class TestCLI:
@@ -42,6 +71,127 @@ class TestCLI:
         assert rc == 0
         assert "use cases" in capsys.readouterr().out
 
+    def test_summary_at_minimum_duration(self, capsys):
+        # 3 days is the documented minimum; the targeted-experiment
+        # planner must not assume a 4th day exists
+        rc = main(["summary", "--scale", "0.005", "--days", "3",
+                   "--host-min-days", "2"])
+        assert rc == 0
+        assert "use cases" in capsys.readouterr().out
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestAnalyzeErrorPaths:
+    def test_missing_control_file(self, corpus_copy, capsys):
+        (corpus_copy / CONTROL_FILE).unlink()
+        rc = main(["analyze", str(corpus_copy)])
+        assert rc == EXIT_USAGE
+        assert CONTROL_FILE in capsys.readouterr().err
+
+    def test_corrupt_platform_json(self, corpus_copy, capsys):
+        (corpus_copy / META_FILE).write_text("{not json")
+        rc = main(["analyze", str(corpus_copy)])
+        assert rc == EXIT_UNREADABLE
+        assert "cannot ingest" in capsys.readouterr().err
+
+    def test_platform_json_missing_keys(self, corpus_copy, capsys):
+        (corpus_copy / META_FILE).write_text("{}")
+        rc = main(["analyze", str(corpus_copy)])
+        assert rc == EXIT_UNREADABLE
+        assert "cannot ingest" in capsys.readouterr().err
+
+    def test_truncated_control_strict_fails(self, corpus_copy, capsys):
+        path = corpus_copy / CONTROL_FILE
+        # cut mid-record: the last line becomes unparseable
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * 0.6)])
+        rc = main(["analyze", str(corpus_copy), "--strict",
+                   "--host-min-days", "4"])
+        assert rc == EXIT_UNREADABLE
+        assert "cannot ingest" in capsys.readouterr().err
+
+    def test_truncated_control_lenient_degrades(self, corpus_copy, capsys):
+        path = corpus_copy / CONTROL_FILE
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * 0.6)])
+        rc = main(["analyze", str(corpus_copy), "--host-min-days", "4"])
+        out = capsys.readouterr().out
+        # the study completes, reporting degraded/failed per analysis
+        assert rc in (EXIT_OK, EXIT_FAILURES)
+        assert "degraded" in out
+
+    def test_corrupt_npz_strict_vs_lenient(self, corpus_copy, capsys):
+        path = corpus_copy / DATA_FILE
+        path.write_bytes(b"\x00" * 100)
+        rc = main(["analyze", str(corpus_copy), "--strict"])
+        assert rc == EXIT_UNREADABLE
+        # an unreadable archive is hopeless even leniently
+        rc = main(["analyze", str(corpus_copy)])
+        assert rc == EXIT_UNREADABLE
+        assert "cannot ingest" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_clean_corpus_exits_zero(self, corpus_dir, capsys):
+        rc = main(["validate", str(corpus_dir)])
+        assert rc == EXIT_OK
+        assert "OK" in capsys.readouterr().out
+
+    def test_corrupted_corpus_exits_nonzero(self, corpus_copy, capsys):
+        blob = (corpus_copy / CONTROL_FILE).read_bytes()
+        (corpus_copy / CONTROL_FILE).write_bytes(blob[: len(blob) // 2])
+        rc = main(["validate", str(corpus_copy)])
+        assert rc == EXIT_FAILURES
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+
+    def test_missing_dir(self, tmp_path, capsys):
+        rc = main(["validate", str(tmp_path / "nope")])
+        assert rc == EXIT_USAGE
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestInjectCommand:
+    def test_inject_then_validate_catches(self, corpus_dir, tmp_path, capsys):
+        degraded = tmp_path / "degraded"
+        rc = main(["inject", str(corpus_dir), "--out", str(degraded),
+                   "--fault", "corrupt:0.1", "--fault", "drop:0.05",
+                   "--seed", "3"])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "corrupt:0.1" in out
+        assert (degraded / CONTROL_FILE).exists()
+        assert (degraded / MANIFEST_FILE).exists()  # stale, on purpose
+        assert main(["validate", str(degraded)]) == EXIT_FAILURES
+
+    def test_inject_is_deterministic(self, corpus_dir, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for dst in (a, b):
+            assert main(["inject", str(corpus_dir), "--out", str(dst),
+                         "--fault", "jitter:0.2", "--seed", "9"]) == EXIT_OK
+        assert (a / CONTROL_FILE).read_bytes() == \
+               (b / CONTROL_FILE).read_bytes()
+
+    def test_inject_requires_fault(self, corpus_dir, tmp_path, capsys):
+        rc = main(["inject", str(corpus_dir), "--out", str(tmp_path / "x")])
+        assert rc == EXIT_USAGE
+        assert "--fault" in capsys.readouterr().err
+
+    def test_inject_rejects_bad_spec(self, corpus_dir, tmp_path, capsys):
+        rc = main(["inject", str(corpus_dir), "--out", str(tmp_path / "x"),
+                   "--fault", "gremlins:0.5"])
+        assert rc == EXIT_USAGE
+
+    def test_lenient_analyze_of_injected_corpus(self, corpus_dir, tmp_path,
+                                                capsys):
+        degraded = tmp_path / "degraded"
+        main(["inject", str(corpus_dir), "--out", str(degraded),
+              "--fault", "corrupt:0.05", "--seed", "4"])
+        capsys.readouterr()
+        rc = main(["analyze", str(degraded), "--host-min-days", "4"])
+        out = capsys.readouterr().out
+        assert rc in (EXIT_OK, EXIT_FAILURES)
+        assert "ingest dropped" in out

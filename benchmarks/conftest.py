@@ -10,28 +10,64 @@ benchmark times only its own analysis.
 Every benchmark prints a *paper vs measured* comparison through
 :func:`report`, which bypasses pytest's capture so the rows land in the
 tee'd output file.
+
+Setting ``REPRO_BENCH_TRACE`` (and/or ``REPRO_BENCH_METRICS``) to a file
+path activates a session-wide :class:`repro.telemetry.Telemetry`, so the
+corpus generation and every analysis run under the benchmarks emit spans
+and counters; the trace/metrics files are written when the session ends.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
 
-from repro import AnalysisPipeline
+from repro import AnalysisPipeline, telemetry
 from repro.scenario import ScenarioConfig, run_scenario
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "104"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE")
+BENCH_METRICS = os.environ.get("REPRO_BENCH_METRICS")
 
 #: paper-vs-measured blocks are appended here as well, so the comparison
 #: survives even when output is piped
 RESULTS_PATH = Path(__file__).with_name("latest_results.txt")
 
+_TELEM = None
+_ACTIVATION = None
+_STARTED = None
+
+
 def pytest_configure(config):
+    global _TELEM, _ACTIVATION, _STARTED
     RESULTS_PATH.write_text("")
+    if BENCH_TRACE or BENCH_METRICS:
+        _TELEM = telemetry.Telemetry()
+        _ACTIVATION = telemetry.activate(_TELEM)
+        _ACTIVATION.__enter__()
+        _STARTED = time.perf_counter()
+
+
+def pytest_unconfigure(config):
+    global _TELEM, _ACTIVATION
+    if _TELEM is None:
+        return
+    manifest = telemetry.run_manifest(
+        "benchmark", seed=BENCH_SEED,
+        scale=BENCH_SCALE, duration_days=BENCH_DAYS)
+    manifest["wall_seconds"] = round(time.perf_counter() - _STARTED, 6)
+    if BENCH_TRACE:
+        _TELEM.write_trace(BENCH_TRACE, manifest=manifest)
+    if BENCH_METRICS:
+        _TELEM.write_metrics(BENCH_METRICS, manifest=manifest)
+    _ACTIVATION.__exit__(None, None, None)
+    _TELEM = None
+    _ACTIVATION = None
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

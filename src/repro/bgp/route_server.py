@@ -29,6 +29,7 @@ from repro.bgp.rib import AdjRIBIn, LocRIB, best_path
 from repro.bgp.route import Route
 from repro.errors import BGPError
 from repro.net.ip import IPv4Prefix
+from repro import telemetry
 
 #: Default route-server ASN (from the 16-bit private-use range).
 DEFAULT_ROUTE_SERVER_ASN = 64500
@@ -158,6 +159,8 @@ class RouteServer:
         else:
             self._retract(update.peer_asn, update.prefix)
         self.log.append(update)
+        telemetry.current().counter(
+            "route_server.updates", action=update.action.value).inc()
         for listener in self._listeners:
             listener(update)
 

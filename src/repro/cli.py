@@ -1,23 +1,34 @@
 """Command-line interface.
 
-Five subcommands mirror the library's layering::
+Six subcommands mirror the library's layering::
 
-    python -m repro generate --scale 0.02 --days 30 --out corpus_dir
-    python -m repro validate corpus_dir
+    python -m repro generate --scale 0.02 --days 30 --out corpus_dir [--progress]
+    python -m repro validate corpus_dir [--json]
     python -m repro inject corpus_dir --out degraded_dir --fault drop:0.1
     python -m repro analyze corpus_dir [--strict | --lenient]
-    python -m repro summary --scale 0.01 --days 14
+                                       [--trace t.jsonl --metrics m.json]
+    python -m repro summary --scale 0.01 --days 14 [--json]
+    python -m repro report t.jsonl
 
 ``generate`` writes the corpora (plus the membership/PeeringDB sidecar and
-a checksummed ``manifest.json``); ``validate`` integrity-checks a corpus
-directory without running any analysis; ``inject`` produces a
-deterministically-degraded copy of a corpus for robustness work;
-``analyze`` re-loads a corpus and prints the study's headline numbers —
-leniently by default, isolating each figure behind typed-exception capture;
-``summary`` generates and analyzes in memory.
+a checksummed ``manifest.json`` stamped with the run's provenance);
+``validate`` integrity-checks a corpus directory without running any
+analysis; ``inject`` produces a deterministically-degraded copy of a corpus
+for robustness work; ``analyze`` re-loads a corpus and prints the study's
+headline numbers — leniently by default, isolating each figure behind
+typed-exception capture; ``summary`` generates and analyzes in memory;
+``report`` renders the per-stage timing/throughput table from a
+``--trace`` file.
+
+Observability: ``--trace`` writes the telemetry spans as JSONL,
+``--metrics`` the final metrics snapshot as JSON, ``--progress`` streams
+stage lines to stderr, and ``-q`` silences informational output.  Without
+any of these flags the no-op telemetry backend is active and the
+instrumentation layer costs nothing.
 
 Exit codes: 0 success; 1 validation or analysis failures; 2 missing
-inputs or bad usage; 3 a corpus that could not be ingested at all.
+inputs or bad usage; 3 a corpus (or trace file) that could not be
+ingested at all.
 """
 
 from __future__ import annotations
@@ -25,9 +36,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro import AnalysisPipeline, ControlPlaneCorpus, DataPlaneCorpus
+from repro import telemetry
 from repro.core.hosts import HostClass
 from repro.core.report import format_table, pct, seconds_human
 from repro.core.study import StudyReport
@@ -39,10 +52,11 @@ from repro.corpus.manifest import (
     validate_corpus,
     write_manifest,
 )
-from repro.errors import FaultInjectionError, ReproError
+from repro.errors import FaultInjectionError, ReproError, TelemetryError
 from repro.faults import FaultSpec, degrade_corpus_dir
 from repro.ixp.peeringdb import OrgType, PeeringDB, PeeringDBRecord
 from repro.scenario import ScenarioConfig, run_scenario
+from repro.telemetry.report import load_trace, render_report
 
 #: process exit codes (documented in the module docstring)
 EXIT_OK = 0
@@ -51,35 +65,71 @@ EXIT_USAGE = 2
 EXIT_UNREADABLE = 3
 
 
+def _make_telemetry(args: argparse.Namespace) -> telemetry.Telemetry:
+    """The telemetry context one CLI invocation runs under.
+
+    A real collecting context is created only when some output wants it
+    (``--trace``, ``--metrics``, or ``--progress``); otherwise the shared
+    no-op backend keeps the instrumentation free.
+    """
+    wants_progress = getattr(args, "progress", False) and not getattr(
+        args, "quiet", False)
+    progress = (lambda line: print(line, file=sys.stderr)) \
+        if wants_progress else None
+    if progress is None and not getattr(args, "trace", None) \
+            and not getattr(args, "metrics", None):
+        return telemetry.NULL
+    return telemetry.Telemetry(progress=progress)
+
+
+def _write_telemetry(telem: telemetry.Telemetry, args: argparse.Namespace,
+                     manifest: dict, started: float) -> None:
+    """Flush ``--trace`` / ``--metrics`` outputs, stamping the wall time."""
+    manifest["wall_seconds"] = time.perf_counter() - started
+    if getattr(args, "trace", None):
+        telem.write_trace(args.trace, manifest=manifest)
+    if getattr(args, "metrics", None):
+        telem.write_metrics(args.metrics, manifest=manifest)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     config = ScenarioConfig.paper(scale=args.scale, duration_days=args.days,
                                   seed=args.seed)
-    result = run_scenario(config)
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    result.control.save_jsonl(out / CONTROL_FILE)
-    result.data.save_npz(out / DATA_FILE)
-    meta = {
-        "peer_asns": result.ixp.member_asns,
-        "route_server_asn": result.ixp.route_server.asn,
-        "sampling_rate": result.data.sampling_rate,
-        "peeringdb": [
-            {"asn": r.asn, "name": r.name, "org_type": r.org_type.value,
-             "scope": r.scope}
-            for r in result.ixp.peeringdb
-        ],
-        "scale": args.scale,
-        "duration_days": args.days,
-        "seed": args.seed,
-    }
-    (out / META_FILE).write_text(json.dumps(meta, indent=2))
+    telem = _make_telemetry(args)
+    manifest = telemetry.run_manifest("generate", seed=args.seed,
+                                      config=config)
+    started = time.perf_counter()
+    with telemetry.activate(telem):
+        result = run_scenario(config)
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        with telem.span("generate.write", out=str(out)):
+            result.control.save_jsonl(out / CONTROL_FILE)
+            result.data.save_npz(out / DATA_FILE)
+            meta = {
+                "peer_asns": result.ixp.member_asns,
+                "route_server_asn": result.ixp.route_server.asn,
+                "sampling_rate": result.data.sampling_rate,
+                "peeringdb": [
+                    {"asn": r.asn, "name": r.name,
+                     "org_type": r.org_type.value, "scope": r.scope}
+                    for r in result.ixp.peeringdb
+                ],
+                "scale": args.scale,
+                "duration_days": args.days,
+                "seed": args.seed,
+            }
+            (out / META_FILE).write_text(json.dumps(meta, indent=2))
+    manifest["wall_seconds"] = time.perf_counter() - started
     write_manifest(out, counts={
         "control_messages": len(result.control),
         "data_packets": len(result.data),
-    })
-    print(f"wrote {len(result.control)} control messages, "
-          f"{len(result.data)} sampled packets, platform metadata, and "
-          f"{MANIFEST_FILE} to {out}/")
+    }, run=manifest)
+    _write_telemetry(telem, args, manifest, started)
+    if not args.quiet:
+        print(f"wrote {len(result.control)} control messages, "
+              f"{len(result.data)} sampled packets, platform metadata, and "
+              f"{MANIFEST_FILE} to {out}/")
     return EXIT_OK
 
 
@@ -108,23 +158,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if rc != EXIT_OK:
         return rc
     policy = "strict" if args.strict else "skip"
-    try:
-        control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE,
-                                                on_error=policy)
-        data = DataPlaneCorpus.load_npz(path / DATA_FILE, on_error=policy)
-        peers, rs_asn, peeringdb = _load_platform(path)
-    except (ReproError, OSError, ValueError, KeyError) as exc:
-        print(f"error: cannot ingest corpus: {exc}", file=sys.stderr)
-        return EXIT_UNREADABLE
-    pipeline = AnalysisPipeline(control, data, peer_asns=peers,
-                                peeringdb=peeringdb, route_server_asn=rs_asn,
-                                host_min_days=args.host_min_days)
-    try:
-        report = pipeline.run_all(strict=args.strict)
-    except ReproError as exc:
-        print(f"error: analysis failed (strict mode): "
-              f"{type(exc).__name__}: {exc}", file=sys.stderr)
-        return EXIT_FAILURES
+    telem = _make_telemetry(args)
+    manifest = telemetry.run_manifest("analyze", corpus=str(path),
+                                      policy=policy)
+    started = time.perf_counter()
+    with telemetry.activate(telem):
+        try:
+            control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE,
+                                                    on_error=policy)
+            data = DataPlaneCorpus.load_npz(path / DATA_FILE, on_error=policy)
+            peers, rs_asn, peeringdb = _load_platform(path)
+        except (ReproError, OSError, ValueError, KeyError) as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: cannot ingest corpus: {exc}", file=sys.stderr)
+            return EXIT_UNREADABLE
+        pipeline = AnalysisPipeline(control, data, peer_asns=peers,
+                                    peeringdb=peeringdb,
+                                    route_server_asn=rs_asn,
+                                    host_min_days=args.host_min_days)
+        try:
+            report = pipeline.run_all(strict=args.strict)
+        except ReproError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: analysis failed (strict mode): "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return EXIT_FAILURES
+    _write_telemetry(telem, args, manifest, started)
     _print_study(pipeline, report)
     return EXIT_OK if report.ok else EXIT_FAILURES
 
@@ -132,13 +191,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_summary(args: argparse.Namespace) -> int:
     config = ScenarioConfig.paper(scale=args.scale, duration_days=args.days,
                                   seed=args.seed)
-    result = run_scenario(config)
-    pipeline = AnalysisPipeline(result.control, result.data,
-                                peer_asns=result.ixp.member_asns,
-                                peeringdb=result.ixp.peeringdb,
-                                host_min_days=args.host_min_days)
-    report = pipeline.run_all(strict=False)
-    _print_study(pipeline, report)
+    telem = _make_telemetry(args)
+    manifest = telemetry.run_manifest("summary", seed=args.seed,
+                                      config=config)
+    started = time.perf_counter()
+    with telemetry.activate(telem):
+        result = run_scenario(config)
+        pipeline = AnalysisPipeline(result.control, result.data,
+                                    peer_asns=result.ixp.member_asns,
+                                    peeringdb=result.ixp.peeringdb,
+                                    host_min_days=args.host_min_days)
+        report = pipeline.run_all(strict=False)
+    _write_telemetry(telem, args, manifest, started)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        _print_study(pipeline, report)
     return EXIT_OK if report.ok else EXIT_FAILURES
 
 
@@ -148,8 +216,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"error: {path} is not a directory", file=sys.stderr)
         return EXIT_USAGE
     report = validate_corpus(path)
-    print(report.format())
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
     return EXIT_OK if report.ok else EXIT_FAILURES
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        trace = load_trace(path)
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
+    print(render_report(trace))
+    return EXIT_OK
 
 
 def _cmd_inject(args: argparse.Namespace) -> int:
@@ -240,11 +325,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", metavar="PATH",
+                       help="write telemetry spans as JSONL (see "
+                            "'repro report')")
+        p.add_argument("--metrics", metavar="PATH",
+                       help="write the final metrics snapshot as JSON")
+
     gen = sub.add_parser("generate", help="generate and save a corpus")
     gen.add_argument("--scale", type=float, default=0.02)
     gen.add_argument("--days", type=float, default=30.0)
     gen.add_argument("--seed", type=int, default=7)
     gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--progress", action="store_true",
+                     help="print per-stage progress lines to stderr")
+    gen.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress informational output")
+    add_telemetry_flags(gen)
     gen.set_defaults(func=_cmd_generate)
 
     ana = sub.add_parser("analyze", help="analyze a saved corpus")
@@ -256,11 +353,14 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--lenient", dest="strict", action="store_false",
                       help="skip bad records, isolate failing analyses "
                            "(default)")
+    add_telemetry_flags(ana)
     ana.set_defaults(func=_cmd_analyze, strict=False)
 
     val = sub.add_parser("validate",
                          help="integrity-check a corpus directory")
     val.add_argument("corpus", help="directory written by 'generate'")
+    val.add_argument("--json", action="store_true",
+                     help="machine-readable report on stdout")
     val.set_defaults(func=_cmd_validate)
 
     inj = sub.add_parser("inject",
@@ -279,7 +379,15 @@ def build_parser() -> argparse.ArgumentParser:
     summ.add_argument("--days", type=float, default=14.0)
     summ.add_argument("--seed", type=int, default=7)
     summ.add_argument("--host-min-days", type=int, default=8)
+    summ.add_argument("--json", action="store_true",
+                      help="machine-readable study report on stdout")
+    add_telemetry_flags(summ)
     summ.set_defaults(func=_cmd_summary)
+
+    rep = sub.add_parser("report",
+                         help="render the timing table from a --trace file")
+    rep.add_argument("trace", help="JSONL trace written by --trace")
+    rep.set_defaults(func=_cmd_report)
     return parser
 
 

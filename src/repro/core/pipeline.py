@@ -27,6 +27,7 @@ from repro.core.study import StudyReport, run_analysis
 from repro.corpus.control import ControlPlaneCorpus
 from repro.corpus.data import DataPlaneCorpus
 from repro.ixp.peeringdb import PeeringDB
+from repro import telemetry
 
 #: every analysis `run_all` executes, in study order; names are the
 #: pipeline method names so reports stay greppable against the paper
@@ -175,6 +176,7 @@ class AnalysisPipeline:
         ``ok``.  Untyped exceptions always propagate — they are bugs, not
         data problems.
         """
+        telem = telemetry.current()
         report = StudyReport()
         degraded = self.degraded_inputs
         for corpus_name, corpus in (("control", self.control),
@@ -185,9 +187,18 @@ class AnalysisPipeline:
                     f"{corpus_name} ingest dropped {ingest.skipped} of "
                     f"{ingest.total} records")
         for name in (analyses if analyses is not None else ANALYSIS_NAMES):
-            report.outcomes.append(run_analysis(
-                name, getattr(self, name), strict=strict,
-                degraded_inputs=degraded))
+            with telem.span(f"analyze.{name}") as sp:
+                outcome = run_analysis(
+                    name, getattr(self, name), strict=strict,
+                    degraded_inputs=degraded)
+                sp.attrs["status"] = outcome.status.value
+            telem.histogram("pipeline.analysis_seconds",
+                            name=name).observe(outcome.seconds)
+            telem.counter("pipeline.analyses",
+                          status=outcome.status.value).inc()
+            report.outcomes.append(outcome)
+        if telem.enabled:
+            report.telemetry = telem.metrics_snapshot()
         return report
 
     def fig19_use_cases(self) -> classify_mod.UseCaseClassification:

@@ -51,6 +51,9 @@ class StudyReport:
     outcomes: List[AnalysisOutcome] = field(default_factory=list)
     #: corpus-level context (ingest losses etc.) the statuses derive from
     warnings: List[str] = field(default_factory=list)
+    #: metrics snapshot from the active telemetry context, when one was
+    #: enabled during ``run_all`` (None under the null backend)
+    telemetry: Optional[dict] = None
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -84,6 +87,32 @@ class StudyReport:
 
     def failed(self) -> List[AnalysisOutcome]:
         return [o for o in self.outcomes if o.status is AnalysisStatus.FAILED]
+
+    def to_json(self) -> dict:
+        """A machine-readable report: statuses, timings, warnings, metrics.
+
+        Analysis *values* are rich python objects and are deliberately not
+        serialized; scripts consuming this JSON get the statuses, errors
+        and timings — the shape CI needs to gate on.
+        """
+        counts = self.counts()
+        return {
+            "ok": self.ok,
+            "counts": {status.value: counts[status]
+                       for status in AnalysisStatus},
+            "warnings": list(self.warnings),
+            "analyses": [
+                {
+                    "name": o.name,
+                    "status": o.status.value,
+                    "seconds": o.seconds,
+                    "error": o.error,
+                    "error_type": o.error_type,
+                }
+                for o in self.outcomes
+            ],
+            "telemetry": self.telemetry,
+        }
 
     def format(self) -> str:
         counts = self.counts()

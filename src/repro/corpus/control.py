@@ -20,6 +20,7 @@ from repro.bgp.message import BGPUpdate, UpdateAction
 from repro.corpus.ingest import IngestReport, check_policy
 from repro.errors import CorpusError, IngestError, ReproError
 from repro.net.ip import IPv4Address, IPv4Prefix
+from repro import telemetry
 
 #: marker returned alongside updates by :meth:`rtbh_updates`
 RTBH_RELATED = "rtbh"
@@ -161,22 +162,33 @@ class ControlPlaneCorpus:
         them to ``quarantine_path`` when given).
         """
         check_policy(on_error)
+        telem = telemetry.current()
         report = IngestReport(source=str(path), policy=on_error,
                               quarantine_path=(None if quarantine_path is None
                                                else str(quarantine_path)))
         messages: List[BGPUpdate] = []
-        for line_no, item in read_updates_jsonl(path, on_error=on_error):
-            report.total += 1
-            if isinstance(item, BGPUpdate):
-                messages.append(item)
-            else:
-                report.record_problem(f"{Path(path).name}:{line_no}",
-                                      item[0], payload=item[1])
-        if quarantine_path is not None and report.quarantined:
-            with open(quarantine_path, "w", encoding="utf-8") as fh:
-                for payload in report.quarantined:
-                    fh.write(payload + "\n")
-        return cls(messages, on_error=on_error, ingest_report=report)
+        with telem.span("ingest.control", source=str(path),
+                        policy=on_error) as sp:
+            for line_no, item in read_updates_jsonl(path, on_error=on_error):
+                report.total += 1
+                if isinstance(item, BGPUpdate):
+                    messages.append(item)
+                else:
+                    report.record_problem(f"{Path(path).name}:{line_no}",
+                                          item[0], payload=item[1])
+            if quarantine_path is not None and report.quarantined:
+                with open(quarantine_path, "w", encoding="utf-8") as fh:
+                    for payload in report.quarantined:
+                        fh.write(payload + "\n")
+            corpus = cls(messages, on_error=on_error, ingest_report=report)
+            sp.attrs["records"] = report.total
+        telem.counter("ingest.records", plane="control",
+                      outcome="ok").inc(report.loaded)
+        telem.counter("ingest.records", plane="control",
+                      outcome="skipped").inc(report.skipped)
+        telem.counter("ingest.records", plane="control",
+                      outcome="quarantined").inc(len(report.quarantined))
+        return corpus
 
 
 # -- record (de)serialization ----------------------------------------------------

@@ -14,6 +14,7 @@ import numpy as np
 from repro.corpus.ingest import IngestReport, check_policy
 from repro.dataplane.packet import PACKET_DTYPE, packets_from_arrays
 from repro.errors import CorpusError, IngestError
+from repro import telemetry
 from repro.net.ip import IPv4Prefix
 
 _MAX32 = 0xFFFFFFFF
@@ -187,11 +188,20 @@ class DataPlaneCorpus:
         lengths become :class:`CorpusError` rather than numpy errors.
         """
         check_policy(on_error)
-        packets, rate = read_packets_npz(path)
-        report = IngestReport(source=str(path), policy=on_error)
-        report.total = len(packets)
-        return cls(packets, sampling_rate=rate, on_error=on_error,
-                   ingest_report=report)
+        telem = telemetry.current()
+        with telem.span("ingest.data", source=str(path),
+                        policy=on_error) as sp:
+            packets, rate = read_packets_npz(path)
+            report = IngestReport(source=str(path), policy=on_error)
+            report.total = len(packets)
+            corpus = cls(packets, sampling_rate=rate, on_error=on_error,
+                         ingest_report=report)
+            sp.attrs["records"] = report.total
+        telem.counter("ingest.records", plane="data",
+                      outcome="ok").inc(report.loaded)
+        telem.counter("ingest.records", plane="data",
+                      outcome="skipped").inc(report.skipped)
+        return corpus
 
 
 # -- raw array I/O ----------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.errors import FabricError
 from repro.net.ip import IPv4Address, IPv4Prefix
 from repro.net.mac import MACAddress
 from repro.net.radix import RadixTree
+from repro import telemetry
 
 #: The locally-administered MAC the blackhole next hop resolves to.
 BLACKHOLE_MAC = MACAddress("de:ad:be:ef:06:66")
@@ -100,13 +101,19 @@ class SwitchingFabric:
         Returns ``(mac, dropped)``; ``mac`` is ``None`` when nothing at the
         IXP knows the destination.
         """
+        counter = telemetry.current().counter
         route = ingress_peer.loc_rib.lookup(dst_ip)
         if route is not None:
             mac = self.resolve_mac(route.next_hop)
-            return mac, mac == self.blackhole_mac
+            dropped = mac == self.blackhole_mac
+            counter("fabric.forwards",
+                    outcome="dropped" if dropped else "routed").inc()
+            return mac, dropped
         owner = self.owner_of(dst_ip)
         if owner is None:
+            counter("fabric.forwards", outcome="unknown").inc()
             return None, False
+        counter("fabric.forwards", outcome="owner").inc()
         return self._bindings[owner].router_mac, False
 
     @property

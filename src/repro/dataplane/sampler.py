@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dataplane.flow import FlowSpec
 from repro.dataplane.packet import PACKET_DTYPE
+from repro import telemetry
 
 #: The paper's sampling rate: 1 packet out of 10,000.
 SAMPLING_RATE_DEFAULT = 10_000
@@ -54,6 +55,8 @@ class IPFIXSampler:
         The ``dropped`` column is left False; marking drops against the
         blackhole acceptance timeline is the fabric's job.
         """
+        telem = telemetry.current()
+        telem.counter("sampler.flows_offered").inc(len(flows))
         if not flows:
             return np.zeros(0, dtype=PACKET_DTYPE)
 
@@ -62,6 +65,7 @@ class IPFIXSampler:
         pps = np.fromiter((f.pps for f in flows), dtype=np.float64, count=len(flows))
         counts = self._rng.poisson(pps * durations / self.rate)
         total = int(counts.sum())
+        telem.counter("sampler.packets_sampled").inc(total)
         out = np.zeros(total, dtype=PACKET_DTYPE)
         if total == 0:
             return out

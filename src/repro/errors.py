@@ -52,3 +52,7 @@ class FaultInjectionError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis step received inputs it cannot process."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry artifact (trace file, metrics dump) is unreadable."""

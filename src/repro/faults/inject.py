@@ -21,6 +21,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.bgp.message import BGPUpdate
+from repro import telemetry
 from repro.faults import control as control_faults
 from repro.faults import data as data_faults
 from repro.faults.spec import (
@@ -50,6 +51,8 @@ def inject_control_messages(
             out, _rng(seed, i, spec), spec)
         report.applications.append(
             FaultApplication(spec=spec, affected=affected, detail=detail))
+        telemetry.current().counter("faults.records_affected",
+                                    kind=spec.kind, plane="control").inc(affected)
     return out, report
 
 
@@ -66,6 +69,8 @@ def inject_packets(
             out, _rng(seed, i, spec), spec)
         report.applications.append(
             FaultApplication(spec=spec, affected=affected, detail=detail))
+        telemetry.current().counter("faults.records_affected",
+                                    kind=spec.kind, plane="data").inc(affected)
     return out, report
 
 
@@ -94,28 +99,35 @@ def degrade_corpus_dir(
         if side.is_file() and side.suffix not in (".jsonl", ".npz"):
             shutil.copyfile(side, dst / side.name)
 
+    telem = telemetry.current()
     for jsonl in sorted(src.glob("*.jsonl")):
-        messages = [m for _, m in read_updates_jsonl(jsonl)]
-        for i, spec in enumerate(specs):
-            if spec.kind not in CONTROL_KINDS:
-                continue
-            messages, affected, detail = control_faults.apply_control_fault(
-                messages, _rng(seed, i, spec), spec)
-            report.applications.append(FaultApplication(
-                spec=spec, affected=affected,
-                detail=f"{jsonl.name}: {detail}"))
-        write_updates_jsonl(messages, dst / jsonl.name)
+        with telem.span("inject.control", source=jsonl.name):
+            messages = [m for _, m in read_updates_jsonl(jsonl)]
+            for i, spec in enumerate(specs):
+                if spec.kind not in CONTROL_KINDS:
+                    continue
+                messages, affected, detail = control_faults.apply_control_fault(
+                    messages, _rng(seed, i, spec), spec)
+                report.applications.append(FaultApplication(
+                    spec=spec, affected=affected,
+                    detail=f"{jsonl.name}: {detail}"))
+                telem.counter("faults.records_affected", kind=spec.kind,
+                              plane="control").inc(affected)
+            write_updates_jsonl(messages, dst / jsonl.name)
 
     for npz in sorted(src.glob("*.npz")):
-        packets, rate = read_packets_npz(npz)
-        for i, spec in enumerate(specs):
-            if spec.kind not in DATA_KINDS:
-                continue
-            packets, affected, detail = data_faults.apply_data_fault(
-                packets, _rng(seed, i, spec), spec)
-            report.applications.append(FaultApplication(
-                spec=spec, affected=affected,
-                detail=f"{npz.name}: {detail}"))
-        write_packets_npz(packets, rate, dst / npz.name)
+        with telem.span("inject.data", source=npz.name):
+            packets, rate = read_packets_npz(npz)
+            for i, spec in enumerate(specs):
+                if spec.kind not in DATA_KINDS:
+                    continue
+                packets, affected, detail = data_faults.apply_data_fault(
+                    packets, _rng(seed, i, spec), spec)
+                report.applications.append(FaultApplication(
+                    spec=spec, affected=affected,
+                    detail=f"{npz.name}: {detail}"))
+                telem.counter("faults.records_affected", kind=spec.kind,
+                              plane="data").inc(affected)
+            write_packets_npz(packets, rate, dst / npz.name)
 
     return report

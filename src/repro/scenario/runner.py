@@ -37,6 +37,7 @@ from repro.dataplane.sampler import IPFIXSampler
 from repro.dataplane.timeline import AcceptanceTimeline
 from repro.errors import ScenarioError
 from repro.ixp.peeringdb import PeeringDBRecord
+from repro import telemetry
 from repro.ixp.platform import IXP
 from repro.net.ip import IPv4Prefix
 from repro.scenario.config import DAY, ScenarioConfig
@@ -102,27 +103,46 @@ def _policy_for(kind: PolicyKind, salt: int) -> ImportPolicy:
 
 
 def run_scenario(config: ScenarioConfig, plan: ScenarioPlan | None = None) -> ScenarioResult:
-    """Build (unless given) and execute the paper plan for ``config``."""
+    """Build (unless given) and execute the paper plan for ``config``.
+
+    Every stage runs inside a telemetry span (``generate.plan`` …
+    ``generate.observations``), so an activated telemetry context gets
+    per-stage timings and the CLI can render progress lines from them.
+    """
+    telem = telemetry.current()
     if plan is None:
-        plan = build_paper_plan(config)
+        with telem.span("generate.plan") as sp:
+            plan = build_paper_plan(config)
+            sp.attrs["events"] = len(plan.events)
     rng = np.random.default_rng(config.seed + 0x5EED)
 
-    ixp = _build_ixp(config, plan)
-    _replay_control_plane(config, plan, ixp)
-    timeline = ixp.finalize_timeline(config.duration)
+    with telem.span("generate.members") as sp:
+        ixp = _build_ixp(config, plan)
+        sp.attrs["members"] = len(plan.members)
+    with telem.span("generate.routes") as sp:
+        _replay_control_plane(config, plan, ixp)
+        timeline = ixp.finalize_timeline(config.duration)
+        sp.attrs["updates"] = len(ixp.route_server.log)
 
-    flows = _generate_flows(config, plan, rng)
-    sampler = IPFIXSampler(rng, rate=config.sampling_rate)
-    packets = sampler.sample(flows)
-    timeline.mark_dropped(packets)
-    # Bilateral blackholes: dropped at a private peering, invisible to the
-    # route server. Their attack packets are force-marked.
-    bilateral = packets["label"] == int(FlowLabel.BILATERAL_BLACKHOLE)
-    packets["dropped"] |= bilateral
+    with telem.span("generate.traffic") as sp:
+        flows = _generate_flows(config, plan, rng)
+        sp.attrs["flows"] = len(flows)
+    with telem.span("generate.sampling") as sp:
+        sampler = IPFIXSampler(rng, rate=config.sampling_rate)
+        packets = sampler.sample(flows)
+        timeline.mark_dropped(packets)
+        # Bilateral blackholes: dropped at a private peering, invisible to
+        # the route server. Their attack packets are force-marked.
+        bilateral = packets["label"] == int(FlowLabel.BILATERAL_BLACKHOLE)
+        packets["dropped"] |= bilateral
+        sp.attrs["packets"] = len(packets)
+        telem.counter("runner.packets_dropped").inc(int(packets["dropped"].sum()))
 
     control = _skewed_control_corpus(ixp, config.control_clock_skew)
     data = DataPlaneCorpus(packets, sampling_rate=config.sampling_rate)
-    observations = simulate_external_observations(plan, rng)
+    with telem.span("generate.observations") as sp:
+        observations = simulate_external_observations(plan, rng)
+        sp.attrs["observations"] = len(observations)
     return ScenarioResult(config=config, plan=plan, control=control,
                           data=data, timeline=timeline, ixp=ixp,
                           observations=observations)

@@ -1,0 +1,168 @@
+"""repro.telemetry — zero-dependency instrumentation for the whole stack.
+
+Three pieces (mirroring what the paper's own measurement apparatus keeps,
+§3.1):
+
+* a **metrics registry** — labeled counters / gauges / histograms, e.g.
+  ``sampler.packets_sampled``, ``route_server.updates{action=announce}``,
+  ``ingest.records{outcome=skipped,plane=control}``,
+  ``pipeline.analysis_seconds{name=fig3_load}``;
+* **hierarchical tracing spans** — ``with telemetry.span("generate.traffic")``
+  captures wall time, peak-RSS delta, and escaping exception type, emitted
+  as JSONL; and
+* a **run manifest** stamping every invocation with seed, config hash, and
+  git revision (:mod:`repro.telemetry.manifest`).
+
+Instrumented call sites never take a telemetry parameter; they ask
+:func:`current` for the active context.  By default that is :data:`NULL` —
+a backend whose spans and instruments are shared no-ops, making the layer
+free when nobody is listening.  The CLI (or a test) enables collection by
+activating a real context::
+
+    telem = Telemetry()
+    with activate(telem):
+        run_scenario(config)           # spans/counters land in ``telem``
+    telem.write_trace("trace.jsonl", manifest=manifest)
+
+Single-threaded by design, matching the rest of the package; an activation
+is process-global, not thread-local.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.telemetry.manifest import config_hash, git_revision, run_manifest
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    series_key,
+)
+from repro.telemetry.trace import NullTracer, Span, Tracer, peak_rss_kb
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "activate",
+    "config_hash",
+    "current",
+    "git_revision",
+    "peak_rss_kb",
+    "run_manifest",
+    "series_key",
+]
+
+
+class Telemetry:
+    """One collection context: a registry plus a tracer.
+
+    ``progress`` (optional) is called with one formatted line every time a
+    span closes — the CLI wires it to stderr for ``generate --progress``.
+    """
+
+    enabled = True
+
+    def __init__(self, progress: Optional[Callable[[str], None]] = None):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(on_close=self._on_span_close if progress else None)
+        self._progress = progress
+
+    # -- instrumentation surface (what call sites use) ----------------------
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, /, **labels: str) -> Histogram:
+        return self.registry.histogram(name, **labels)
+
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    # -- progress rendering -------------------------------------------------
+
+    def _on_span_close(self, span: Span) -> None:
+        detail = " ".join(f"{k}={v}" for k, v in span.attrs.items()
+                          if isinstance(v, (int, float, str)))
+        line = f"{'  ' * span.depth}{span.name}: {span.seconds:.2f}s"
+        if detail:
+            line += f" ({detail})"
+        if span.error_type:
+            line += f" [{span.error_type}]"
+        self._progress(line)
+
+    # -- output --------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def write_trace(self, path: str | Path,
+                    manifest: Optional[dict] = None) -> Path:
+        """Write the buffered trace as JSONL: manifest first, one span per
+        line, final metrics snapshot last."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            if manifest is not None:
+                fh.write(json.dumps(manifest) + "\n")
+            for record in self.tracer.records:
+                fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps({"type": "metrics",
+                                 "metrics": self.metrics_snapshot()}) + "\n")
+        return path
+
+    def write_metrics(self, path: str | Path,
+                      manifest: Optional[dict] = None) -> Path:
+        """Write the metrics snapshot (plus manifest) as one JSON file."""
+        path = Path(path)
+        payload = {"manifest": manifest, "metrics": self.metrics_snapshot()}
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+
+class NullTelemetry(Telemetry):
+    """The disabled backend: every operation is a shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = NullRegistry()
+        self.tracer = NullTracer()
+        self._progress = None
+
+
+#: the process-wide disabled default
+NULL = NullTelemetry()
+
+_current: Telemetry = NULL
+
+
+def current() -> Telemetry:
+    """The active telemetry context (the no-op :data:`NULL` by default)."""
+    return _current
+
+
+@contextmanager
+def activate(telemetry: Telemetry):
+    """Install ``telemetry`` as the process-wide context for the block."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

@@ -1,0 +1,76 @@
+"""Run manifests: what produced this trace / corpus / metrics file.
+
+Every ``generate``/``analyze`` invocation is stamped with enough context to
+reproduce it — the command, the seed, a short hash of the scenario
+configuration, the git revision of the working tree, and interpreter /
+package versions.  The same dict heads the ``--trace`` JSONL file, lands in
+the ``--metrics`` JSON, and (for ``generate``) is embedded in the corpus's
+checksummed ``manifest.json`` so ``repro validate`` can answer "where did
+this corpus come from" years later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from typing import Any, Optional
+
+
+def config_hash(config: Any) -> Optional[str]:
+    """A short stable digest of a (dataclass) configuration.
+
+    Nested dataclasses are flattened via :func:`dataclasses.asdict`; any
+    non-JSON leaf is stringified, so the hash is stable across runs but
+    changes whenever any knob changes.
+    """
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        payload = config
+    else:
+        payload = {"repr": repr(config)}
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def git_revision() -> Optional[str]:
+    """The current git commit (short), or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5.0, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def run_manifest(command: str, *, seed: Optional[int] = None,
+                 config: Any = None, **extra: Any) -> dict:
+    """Build the manifest dict stamped on one CLI invocation.
+
+    ``wall_seconds`` is filled in by the caller once the run finishes
+    (see :meth:`repro.telemetry.Telemetry.finish_manifest`).
+    """
+    from repro import __version__
+
+    manifest = {
+        "type": "manifest",
+        "command": command,
+        "seed": seed,
+        "config_hash": config_hash(config),
+        "git_rev": git_revision(),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "started_unix": time.time(),
+        "wall_seconds": None,
+    }
+    manifest.update(extra)
+    return manifest

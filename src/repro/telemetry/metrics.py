@@ -1,0 +1,184 @@
+"""Labeled metrics: counters, gauges, and histograms in a registry.
+
+The registry is deliberately Prometheus-shaped without the dependency:
+a metric is identified by a name plus a sorted label set, rendered as
+``name{key=value,...}`` in snapshots so series stay greppable —
+``route_server.updates{action=announce}``,
+``ingest.records{outcome=skipped,plane=control}``.  Instruments are
+memoized per series, so hot paths can call
+``registry.counter("x", k="v").inc()`` repeatedly without allocating.
+
+The :class:`NullRegistry` hands out shared no-op instruments; with it
+installed the whole instrumentation layer costs one dict-free method call
+per site (see :mod:`repro.telemetry`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+
+def series_key(name: str, labels: Dict[str, str]) -> str:
+    """Render ``name`` + labels as the canonical series string."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += float(amount)
+
+
+class Histogram:
+    """Streaming summary of observations: count, sum, min, max, mean.
+
+    Full bucketing is overkill for the per-analysis timings this layer
+    records (tens of observations per run); the summary is exact and
+    constant-size.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 — no-op backend
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Owns every metric series of one telemetry context."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, str]):
+        return name, tuple(sorted(labels.items()))
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        key = self._key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        key = self._key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, /, **labels: str) -> Histogram:
+        key = self._key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram()
+        return inst
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump of every series, sorted for diffing."""
+        counters = {series_key(name, dict(labels)): inst.value
+                    for (name, labels), inst in self._counters.items()}
+        gauges = {series_key(name, dict(labels)): inst.value
+                  for (name, labels), inst in self._gauges.items()}
+        histograms = {}
+        for (name, labels), inst in self._histograms.items():
+            histograms[series_key(name, dict(labels))] = {
+                "count": inst.count,
+                "sum": inst.total,
+                "min": inst.min if inst.count else None,
+                "max": inst.max if inst.count else None,
+                "mean": inst.mean,
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """Free-when-disabled registry: every lookup returns a shared no-op."""
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, /, **labels: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,153 @@
+"""Reading trace files back and rendering the `repro report` table.
+
+A trace file is JSONL: an optional ``manifest`` record, then ``span``
+records in close order, then an optional final ``metrics`` snapshot.
+:func:`load_trace` re-reads one defensively — a missing file or a
+non-JSONL payload raises :class:`~repro.errors.TelemetryError`, while
+unknown record types are skipped (forward compatibility) — and
+:func:`render_report` turns it into the per-stage timing / throughput
+table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.report import format_table
+from repro.errors import TelemetryError
+
+
+@dataclass
+class TraceFile:
+    """One parsed trace: manifest, spans, and the final metrics snapshot."""
+
+    path: str
+    manifest: Optional[dict] = None
+    spans: List[dict] = field(default_factory=list)
+    metrics: Optional[dict] = None
+
+    def span_names(self) -> List[str]:
+        return [s["name"] for s in self.spans]
+
+
+def load_trace(path: str | Path) -> TraceFile:
+    """Parse a trace JSONL file, raising typed errors on garbage."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8", errors="strict")
+    except OSError as exc:
+        raise TelemetryError(f"{path}: cannot read trace: {exc}") from exc
+    except ValueError as exc:
+        raise TelemetryError(f"{path}: not a text trace file: {exc}") from exc
+    trace = TraceFile(path=str(path))
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TelemetryError(
+                f"{path}:{line_no}: bad trace record: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TelemetryError(
+                f"{path}:{line_no}: trace record is not an object")
+        kind = record.get("type")
+        if kind == "manifest":
+            trace.manifest = record
+        elif kind == "span":
+            if "name" not in record or "seconds" not in record:
+                raise TelemetryError(
+                    f"{path}:{line_no}: span record missing name/seconds")
+            trace.spans.append(record)
+        elif kind == "metrics":
+            trace.metrics = record.get("metrics")
+        # unknown record types are skipped for forward compatibility
+    if not trace.spans and trace.metrics is None:
+        raise TelemetryError(f"{path}: no span or metrics records found")
+    return trace
+
+
+@dataclass
+class _Agg:
+    count: int = 0
+    seconds: float = 0.0
+    rss_kb: int = 0
+    errors: int = 0
+
+
+def aggregate_spans(trace: TraceFile) -> Dict[str, _Agg]:
+    """Per span name: count, total seconds, peak-RSS growth, errors."""
+    out: Dict[str, _Agg] = {}
+    for span in trace.spans:
+        agg = out.setdefault(span["name"], _Agg())
+        agg.count += 1
+        agg.seconds += float(span["seconds"])
+        agg.rss_kb += int(span.get("rss_delta_kb") or 0)
+        if span.get("error"):
+            agg.errors += 1
+    return out
+
+
+def _top_level_seconds(trace: TraceFile) -> float:
+    """Wall time attributable to root spans (no double-counting children)."""
+    return sum(float(s["seconds"]) for s in trace.spans
+               if s.get("parent_id") is None)
+
+
+def _throughput_rows(trace: TraceFile) -> List[Tuple[str, str]]:
+    """Headline record counts from the final metrics snapshot."""
+    if not trace.metrics:
+        return []
+    rows: List[Tuple[str, str]] = []
+    for series, value in trace.metrics.get("counters", {}).items():
+        rows.append((series, f"{value:,}"))
+    return rows
+
+
+def render_report(trace: TraceFile) -> str:
+    """The `repro report` output: manifest header, timing table, counters."""
+    lines: List[str] = []
+    if trace.manifest:
+        m = trace.manifest
+        bits = [f"command={m.get('command')}"]
+        if m.get("seed") is not None:
+            bits.append(f"seed={m['seed']}")
+        if m.get("config_hash"):
+            bits.append(f"config={m['config_hash']}")
+        if m.get("git_rev"):
+            bits.append(f"rev={m['git_rev']}")
+        if m.get("wall_seconds") is not None:
+            bits.append(f"wall={m['wall_seconds']:.2f}s")
+        lines.append("run: " + "  ".join(bits))
+        lines.append("")
+
+    aggregates = aggregate_spans(trace)
+    total = _top_level_seconds(trace) or sum(
+        a.seconds for a in aggregates.values()) or 1.0
+    rows = []
+    for name, agg in sorted(aggregates.items(),
+                            key=lambda kv: -kv[1].seconds):
+        rows.append([
+            name,
+            agg.count,
+            f"{agg.seconds:.3f}",
+            f"{agg.seconds / agg.count:.3f}",
+            f"{100.0 * agg.seconds / total:.1f}%",
+            f"{agg.rss_kb / 1024:.1f}",
+            agg.errors or "",
+        ])
+    if rows:
+        lines.append(format_table(
+            ["span", "count", "total_s", "mean_s", "share", "rss_mb", "err"],
+            rows, title=f"spans ({len(trace.spans)} recorded):"))
+
+    throughput = _throughput_rows(trace)
+    if throughput:
+        lines.append("")
+        lines.append(format_table(["counter", "value"], throughput,
+                                  title="counters:"))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Hierarchical tracing spans.
+
+``with tracer.span("generate.traffic", flows=123) as span:`` opens a span;
+on close it records wall time, the peak-RSS delta across the span (how much
+the stage grew the process's high-water mark), and the exception type if
+one escaped.  Spans nest: the tracer keeps a stack, so a span opened inside
+another records its parent id and depth, and a trace file replays the whole
+call tree.
+
+Finished spans are buffered as plain JSON-serializable dicts (capped — a
+runaway loop must not OOM the tracer) and can be streamed to a sink
+callback as they close, which is how the CLI's ``--progress`` stage lines
+and ``--trace`` JSONL files are fed from the same instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+try:  # pragma: no cover - resource is absent only on non-POSIX platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+#: buffered finished-span cap; the count stays exact past it
+MAX_SPANS = 100_000
+
+
+def peak_rss_kb() -> int:
+    """The process's peak RSS high-water mark, in KiB (0 if unknown)."""
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+class Span:
+    """One live (then finished) traced stage."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth",
+                 "start", "seconds", "rss_delta_kb", "error_type")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], span_id: int,
+                 parent_id: Optional[int], depth: int):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = 0.0
+        self.seconds = 0.0
+        self.rss_delta_kb = 0
+        self.error_type: Optional[str] = None
+
+    def to_record(self) -> dict:
+        """The JSONL representation of a finished span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "seconds": self.seconds,
+            "rss_delta_kb": self.rss_delta_kb,
+            "error": self.error_type,
+            "attrs": self.attrs,
+        }
+
+
+class _SpanContext:
+    """Context manager tying one :class:`Span` to the tracer's stack."""
+
+    __slots__ = ("_tracer", "span", "_t0", "_rss0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.span.start = time.time()
+        self._t0 = time.perf_counter()
+        self._rss0 = peak_rss_kb()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.seconds = time.perf_counter() - self._t0
+        self.span.rss_delta_kb = peak_rss_kb() - self._rss0
+        if exc_type is not None:
+            self.span.error_type = exc_type.__name__
+        self._tracer._close(self.span)
+        return False  # never swallow
+
+
+class _NullSpanContext:
+    """Shared, reusable no-op span context (see :class:`NullTracer`)."""
+
+    __slots__ = ("span",)
+
+    def __init__(self) -> None:
+        self.span = Span("<null>", {}, span_id=0, parent_id=None, depth=0)
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class Tracer:
+    """Produces and collects spans for one telemetry context."""
+
+    def __init__(self, on_close: Optional[Callable[[Span], None]] = None):
+        self.records: List[dict] = []
+        self.total_spans = 0
+        self.on_close = on_close
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a nested span; use as a context manager."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, attrs, span_id=span_id, parent_id=parent,
+                    depth=len(self._stack))
+        self._stack.append(span_id)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        # the stack discipline is enforced by the with-statement pairing
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        self.total_spans += 1
+        if len(self.records) < MAX_SPANS:
+            self.records.append(span.to_record())
+        if self.on_close is not None:
+            self.on_close(span)
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """Free-when-disabled tracer: one shared span, nothing recorded."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT

@@ -1,0 +1,108 @@
+"""Metrics registry: labeled series, memoization, snapshots, null backend."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_no_labels(self):
+        assert series_key("sampler.packets_sampled", {}) == \
+            "sampler.packets_sampled"
+
+    def test_labels_sorted(self):
+        key = series_key("ingest.records",
+                         {"plane": "control", "outcome": "ok"})
+        assert key == "ingest.records{outcome=ok,plane=control}"
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.counter("x").value == 5
+
+    def test_series_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("updates", action="announce").inc(3)
+        reg.counter("updates", action="withdraw").inc(1)
+        snap = reg.snapshot()["counters"]
+        assert snap["updates{action=announce}"] == 3
+        assert snap["updates{action=withdraw}"] == 1
+
+    def test_instruments_are_memoized(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", k="v") is reg.counter("a", k="v")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.gauge("load").set(2.0)
+        reg.gauge("load").add(0.5)
+        assert reg.snapshot()["gauges"]["load"] == 2.5
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            reg.histogram("seconds", name="fig3_load").observe(v)
+        summary = reg.snapshot()["histograms"]["seconds{name=fig3_load}"]
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(6.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        summary = reg.snapshot()["histograms"]["h"]
+        assert summary["count"] == 0
+        assert summary["min"] is None and summary["max"] is None
+
+    def test_snapshot_sorted_for_diffing(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()["counters"]) == ["a", "b"]
+
+    def test_name_positional_only_allows_name_label(self):
+        reg = MetricsRegistry()
+        reg.histogram("seconds", name="fig2").observe(1.0)
+        assert "seconds{name=fig2}" in reg.snapshot()["histograms"]
+
+
+class TestNullRegistry:
+    def test_shared_noop_instruments(self):
+        reg = NullRegistry()
+        c = reg.counter("x", any="label")
+        c.inc(100)
+        assert c.value == 0
+        assert reg.counter("y") is c
+
+    def test_noop_gauge_and_histogram(self):
+        reg = NullRegistry()
+        reg.gauge("g").set(5.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.gauge("g").value == 0.0
+        assert reg.histogram("h").count == 0
+
+    def test_snapshot_empty(self):
+        reg = NullRegistry()
+        reg.counter("x").inc()
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+    def test_null_instruments_are_subtypes(self):
+        reg = NullRegistry()
+        assert isinstance(reg.counter("c"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)

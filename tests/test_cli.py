@@ -1,5 +1,7 @@
 """Tests for the command-line interface: generate → analyze round trip,
-validate/inject, and the degraded-input error paths with their exit codes."""
+validate/inject, telemetry flags (--trace/--metrics/--progress/--json),
+the report command, and the degraded-input error paths with their exit
+codes."""
 
 import json
 import shutil
@@ -195,3 +197,159 @@ class TestInjectCommand:
         out = capsys.readouterr().out
         assert rc in (EXIT_OK, EXIT_FAILURES)
         assert "ingest dropped" in out
+
+
+class TestTelemetryFlags:
+    def test_analyze_trace_covers_every_analysis_and_ingestion(
+            self, corpus_dir, tmp_path, capsys):
+        from repro.core.pipeline import ANALYSIS_NAMES
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        rc = main(["analyze", str(corpus_dir), "--host-min-days", "4",
+                   "--trace", str(trace), "--metrics", str(metrics)])
+        assert rc == EXIT_OK
+        capsys.readouterr()
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        for analysis in ANALYSIS_NAMES:
+            assert f"analyze.{analysis}" in names
+        assert "ingest.control" in names and "ingest.data" in names
+        manifest = records[0]
+        assert manifest["type"] == "manifest"
+        assert manifest["command"] == "analyze"
+        assert manifest["wall_seconds"] > 0
+        payload = json.loads(metrics.read_text())
+        counters = payload["metrics"]["counters"]
+        assert counters["ingest.records{outcome=ok,plane=control}"] > 0
+        assert counters["ingest.records{outcome=ok,plane=data}"] > 0
+
+    def test_analyze_without_flags_uses_null_backend(self, corpus_dir,
+                                                     capsys):
+        from repro import telemetry
+
+        rc = main(["analyze", str(corpus_dir), "--host-min-days", "4"])
+        assert rc == EXIT_OK
+        assert telemetry.current() is telemetry.NULL
+        assert telemetry.NULL.tracer.records == []
+        capsys.readouterr()
+
+    def test_generate_progress_lines(self, tmp_path, capsys):
+        rc = main(["generate", "--scale", "0.005", "--days", "3",
+                   "--out", str(tmp_path / "c"), "--progress"])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        for stage in ("generate.traffic", "generate.sampling",
+                      "generate.routes", "generate.write"):
+            assert stage in captured.err
+        assert "wrote" in captured.out
+
+    def test_generate_quiet_suppresses_output(self, tmp_path, capsys):
+        rc = main(["generate", "--scale", "0.005", "--days", "3",
+                   "--out", str(tmp_path / "c"), "-q", "--progress"])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "generate.traffic" not in captured.err
+
+    def test_generate_stamps_run_manifest_into_corpus_manifest(
+            self, corpus_dir):
+        manifest = json.loads((corpus_dir / MANIFEST_FILE).read_text())
+        run = manifest["run"]
+        assert run["command"] == "generate"
+        assert run["seed"] == 7
+        assert run["config_hash"]
+        assert run["wall_seconds"] > 0
+
+    def test_validate_surfaces_run_manifest(self, corpus_dir, capsys):
+        rc = main(["validate", str(corpus_dir)])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "generated by:" in out
+        assert "seed=7" in out
+
+
+class TestJsonModes:
+    def test_validate_json(self, corpus_dir, capsys):
+        rc = main(["validate", str(corpus_dir), "--json"])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert not any(i["severity"] == "error" for i in payload["issues"])
+        assert payload["control_ingest"]["skipped"] == 0
+        assert payload["run_manifest"]["seed"] == 7
+
+    def test_validate_json_corrupted(self, corpus_copy, capsys):
+        blob = (corpus_copy / CONTROL_FILE).read_bytes()
+        (corpus_copy / CONTROL_FILE).write_bytes(blob[: len(blob) // 2])
+        rc = main(["validate", str(corpus_copy), "--json"])
+        assert rc == EXIT_FAILURES
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(i["severity"] == "error" for i in payload["issues"])
+
+    def test_summary_json(self, capsys):
+        rc = main(["summary", "--scale", "0.005", "--days", "7",
+                   "--host-min-days", "4", "--json"])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["analyses"]) == 16
+        assert all(a["status"] == "ok" for a in payload["analyses"])
+        assert payload["counts"]["failed"] == 0
+
+    def test_summary_json_with_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main(["summary", "--scale", "0.005", "--days", "7",
+                   "--host-min-days", "4", "--json",
+                   "--metrics", str(metrics)])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        # with telemetry enabled the study report embeds the snapshot
+        assert payload["telemetry"] is not None
+        assert metrics.exists()
+
+
+class TestReportCommand:
+    @pytest.fixture
+    def trace_file(self, corpus_dir, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["analyze", str(corpus_dir), "--host-min-days", "4",
+                     "--trace", str(trace)]) == EXIT_OK
+        capsys.readouterr()
+        return trace
+
+    def test_report_renders_timing_table(self, trace_file, capsys):
+        rc = main(["report", str(trace_file)])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "analyze.fig3_load" in out
+        assert "ingest.control" in out
+        assert "command=analyze" in out
+        assert "total_s" in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.jsonl")])
+        assert rc == EXIT_USAGE
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json at all\n")
+        rc = main(["report", str(bad)])
+        assert rc == EXIT_UNREADABLE
+        assert "bad trace record" in capsys.readouterr().err
+
+    def test_report_on_binary_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_bytes(b"\x00\x01\x02\xff" * 64)
+        rc = main(["report", str(bad)])
+        assert rc == EXIT_UNREADABLE
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_report_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["report", str(empty)])
+        assert rc == EXIT_UNREADABLE
+        assert "no span or metrics" in capsys.readouterr().err

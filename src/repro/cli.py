@@ -2,10 +2,13 @@
 
 Six subcommands mirror the library's layering::
 
-    python -m repro generate --scale 0.02 --days 30 --out corpus_dir [--progress]
+    python -m repro generate --scale 0.02 --days 30 --out corpus_dir
+                             [--resume] [--progress]
     python -m repro validate corpus_dir [--json]
     python -m repro inject corpus_dir --out degraded_dir --fault drop:0.1
-    python -m repro analyze corpus_dir [--strict | --lenient]
+    python -m repro analyze corpus_dir [--strict | --lenient] [--json]
+                                       [--supervised --timeout 300
+                                        --retries 2] [--resume]
                                        [--trace t.jsonl --metrics m.json]
     python -m repro summary --scale 0.01 --days 14 [--json]
     python -m repro report t.jsonl
@@ -20,6 +23,13 @@ typed-exception capture; ``summary`` generates and analyzes in memory;
 ``report`` renders the per-stage timing/throughput table from a
 ``--trace`` file.
 
+Crash safety: ``generate`` writes the corpus in day-sized, atomically
+committed segments behind a checkpoint journal, so ``generate --resume``
+finishes an interrupted run byte-identically.  ``analyze --supervised``
+(implied by ``--timeout`` or ``--resume``) runs each analysis in a child
+process with a wall-clock timeout and bounded retries; ``analyze
+--resume`` re-runs only analyses with no journaled terminal outcome.
+
 Observability: ``--trace`` writes the telemetry spans as JSONL,
 ``--metrics`` the final metrics snapshot as JSON, ``--progress`` streams
 stage lines to stderr, and ``-q`` silences informational output.  Without
@@ -28,7 +38,8 @@ instrumentation layer costs nothing.
 
 Exit codes: 0 success; 1 validation or analysis failures; 2 missing
 inputs or bad usage; 3 a corpus (or trace file) that could not be
-ingested at all.
+ingested at all; 4 an analysis run where *every* analysis completed but
+none on clean inputs (fully degraded — "success" CI should not trust).
 """
 
 from __future__ import annotations
@@ -50,9 +61,13 @@ from repro.corpus.manifest import (
     MANIFEST_FILE,
     META_FILE,
     validate_corpus,
-    write_manifest,
 )
-from repro.errors import FaultInjectionError, ReproError, TelemetryError
+from repro.errors import (
+    CheckpointError,
+    FaultInjectionError,
+    ReproError,
+    TelemetryError,
+)
 from repro.faults import FaultSpec, degrade_corpus_dir
 from repro.ixp.peeringdb import OrgType, PeeringDB, PeeringDBRecord
 from repro.scenario import ScenarioConfig, run_scenario
@@ -63,6 +78,20 @@ EXIT_OK = 0
 EXIT_FAILURES = 1
 EXIT_USAGE = 2
 EXIT_UNREADABLE = 3
+EXIT_ALL_DEGRADED = 4
+
+#: checkpoint journal for supervised/resumable ``analyze`` runs, kept in
+#: the corpus directory (dot-prefixed: excluded from manifests)
+ANALYZE_JOURNAL_FILE = ".analysis.checkpoint.jsonl"
+
+
+def _study_exit_code(report: StudyReport) -> int:
+    """Map a study report onto the documented exit codes."""
+    if not report.ok:
+        return EXIT_FAILURES
+    if report.all_degraded:
+        return EXIT_ALL_DEGRADED
+    return EXIT_OK
 
 
 def _make_telemetry(args: argparse.Namespace) -> telemetry.Telemetry:
@@ -93,43 +122,26 @@ def _write_telemetry(telem: telemetry.Telemetry, args: argparse.Namespace,
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.runtime.generate import checkpointed_generate
+
     config = ScenarioConfig.paper(scale=args.scale, duration_days=args.days,
                                   seed=args.seed)
     telem = _make_telemetry(args)
     manifest = telemetry.run_manifest("generate", seed=args.seed,
                                       config=config)
     started = time.perf_counter()
-    with telemetry.activate(telem):
-        result = run_scenario(config)
-        out = Path(args.out)
-        out.mkdir(parents=True, exist_ok=True)
-        with telem.span("generate.write", out=str(out)):
-            result.control.save_jsonl(out / CONTROL_FILE)
-            result.data.save_npz(out / DATA_FILE)
-            meta = {
-                "peer_asns": result.ixp.member_asns,
-                "route_server_asn": result.ixp.route_server.asn,
-                "sampling_rate": result.data.sampling_rate,
-                "peeringdb": [
-                    {"asn": r.asn, "name": r.name,
-                     "org_type": r.org_type.value, "scope": r.scope}
-                    for r in result.ixp.peeringdb
-                ],
-                "scale": args.scale,
-                "duration_days": args.days,
-                "seed": args.seed,
-            }
-            (out / META_FILE).write_text(json.dumps(meta, indent=2))
-    manifest["wall_seconds"] = time.perf_counter() - started
-    write_manifest(out, counts={
-        "control_messages": len(result.control),
-        "data_packets": len(result.data),
-    }, run=manifest)
+    try:
+        with telemetry.activate(telem):
+            report = checkpointed_generate(
+                config, args.out, resume=args.resume, run=manifest,
+                extra_meta={"scale": args.scale, "duration_days": args.days,
+                            "seed": args.seed})
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     _write_telemetry(telem, args, manifest, started)
     if not args.quiet:
-        print(f"wrote {len(result.control)} control messages, "
-              f"{len(result.data)} sampled packets, platform metadata, and "
-              f"{MANIFEST_FILE} to {out}/")
+        print(report.format())
     return EXIT_OK
 
 
@@ -152,6 +164,36 @@ def _check_corpus_files(path: Path) -> int:
     return EXIT_OK
 
 
+def _analyze_supervision(args: argparse.Namespace, path: Path):
+    """Build the (supervisor policy, checkpoint journal) pair for
+    ``analyze``, or ``(None, None)`` for the classic in-process path.
+
+    Supervision is active when any of ``--supervised``, ``--timeout``, or
+    ``--resume`` is given.  The journal lives in the corpus directory;
+    ``--resume`` reuses it (after checking it belongs to the same corpus
+    and policy), anything else starts it fresh.
+    """
+    from repro.runtime.checkpoint import CheckpointJournal
+    from repro.runtime.retry import RetryPolicy
+    from repro.runtime.supervisor import SupervisorPolicy
+
+    supervised = args.supervised or args.resume or args.timeout is not None
+    if not supervised:
+        return None, None
+    policy = SupervisorPolicy(
+        timeout=args.timeout,
+        retry=RetryPolicy(max_retries=args.retries))
+    header = {"command": "analyze", "corpus": str(path),
+              "policy": "strict" if args.strict else "skip",
+              "host_min_days": args.host_min_days}
+    journal = CheckpointJournal.load(path / ANALYZE_JOURNAL_FILE)
+    if args.resume and journal.header is not None:
+        journal.require_header(header)
+    else:
+        journal.start(header)
+    return policy, journal
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     path = Path(args.corpus)
     rc = _check_corpus_files(path)
@@ -162,6 +204,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     manifest = telemetry.run_manifest("analyze", corpus=str(path),
                                       policy=policy)
     started = time.perf_counter()
+    try:
+        supervisor, journal = _analyze_supervision(args, path)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     with telemetry.activate(telem):
         try:
             control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE,
@@ -177,15 +224,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                                     route_server_asn=rs_asn,
                                     host_min_days=args.host_min_days)
         try:
-            report = pipeline.run_all(strict=args.strict)
+            report = pipeline.run_all(strict=args.strict,
+                                      supervisor=supervisor,
+                                      checkpoint=journal)
         except ReproError as exc:
             _write_telemetry(telem, args, manifest, started)
             print(f"error: analysis failed (strict mode): "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
             return EXIT_FAILURES
     _write_telemetry(telem, args, manifest, started)
-    _print_study(pipeline, report)
-    return EXIT_OK if report.ok else EXIT_FAILURES
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        _print_study(pipeline, report)
+    return _study_exit_code(report)
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -207,7 +259,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_json(), indent=2))
     else:
         _print_study(pipeline, report)
-    return EXIT_OK if report.ok else EXIT_FAILURES
+    return _study_exit_code(report)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -337,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--days", type=float, default=30.0)
     gen.add_argument("--seed", type=int, default=7)
     gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--resume", action="store_true",
+                     help="finish an interrupted run: skip segments already "
+                          "committed to the checkpoint journal")
     gen.add_argument("--progress", action="store_true",
                      help="print per-stage progress lines to stderr")
     gen.add_argument("-q", "--quiet", action="store_true",
@@ -353,6 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--lenient", dest="strict", action="store_false",
                       help="skip bad records, isolate failing analyses "
                            "(default)")
+    ana.add_argument("--supervised", action="store_true",
+                     help="run each analysis in a supervised child process")
+    ana.add_argument("--timeout", type=float, metavar="SECONDS",
+                     help="per-analysis wall-clock limit (implies "
+                          "--supervised)")
+    ana.add_argument("--retries", type=int, default=2, metavar="N",
+                     help="max retries of a transiently-failing analysis "
+                          "(default 2)")
+    ana.add_argument("--resume", action="store_true",
+                     help="skip analyses with a journaled terminal outcome "
+                          "(implies --supervised)")
+    ana.add_argument("--json", action="store_true",
+                     help="machine-readable study report on stdout")
     add_telemetry_flags(ana)
     ana.set_defaults(func=_cmd_analyze, strict=False)
 

@@ -164,8 +164,26 @@ class AnalysisPipeline:
                 return True
         return False
 
+    def warm_shared_caches(self) -> None:
+        """Precompute the shared intermediates (events, classifications).
+
+        The supervised runner calls this in the parent before forking the
+        per-analysis children, so every child inherits the caches via
+        copy-on-write instead of recomputing them.  Typed failures are
+        swallowed — the affected analyses will surface them individually.
+        """
+        from repro.errors import ReproError
+
+        for attr in ("events", "pre_classification", "event_traffic",
+                     "host_study"):
+            try:
+                getattr(self, attr)
+            except ReproError:
+                pass
+
     def run_all(self, strict: bool = True,
-                analyses: Sequence[str] | None = None) -> StudyReport:
+                analyses: Sequence[str] | None = None,
+                supervisor=None, checkpoint=None) -> StudyReport:
         """Run every analysis of the study and report per-figure status.
 
         ``strict=True`` re-raises the first typed
@@ -175,7 +193,21 @@ class AnalysisPipeline:
         ingestion dropped records) are marked ``degraded`` rather than
         ``ok``.  Untyped exceptions always propagate — they are bugs, not
         data problems.
+
+        Passing a :class:`~repro.runtime.supervisor.SupervisorPolicy` as
+        ``supervisor`` delegates to the crash-safe runner instead: each
+        analysis executes in a child process under a wall-clock timeout
+        with bounded retries, and a hung/killed/crashing analysis becomes
+        a ``failed`` outcome rather than taking down the run.
+        ``checkpoint`` (a :class:`~repro.runtime.checkpoint
+        .CheckpointJournal`) additionally persists terminal outcomes so a
+        resumed run re-executes only unfinished analyses.
         """
+        if supervisor is not None:
+            from repro.runtime.supervisor import run_supervised
+
+            return run_supervised(self, analyses=analyses, policy=supervisor,
+                                  strict=strict, journal=checkpoint)
         telem = telemetry.current()
         report = StudyReport()
         degraded = self.degraded_inputs

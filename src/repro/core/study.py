@@ -38,6 +38,11 @@ class AnalysisOutcome:
     error: Optional[str] = None
     error_type: Optional[str] = None
     seconds: float = 0.0
+    #: executions it took to reach this terminal outcome (supervised runs
+    #: may retry transient failures; unsupervised runs always report 1)
+    attempts: int = 1
+    #: attempts killed at the supervisor's wall-clock timeout
+    timeouts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -65,6 +70,17 @@ class StudyReport:
     def ok(self) -> bool:
         """True when no analysis failed (degraded still counts as usable)."""
         return all(o.ok for o in self.outcomes)
+
+    @property
+    def all_degraded(self) -> bool:
+        """True when *every* analysis ran but none ran on clean inputs.
+
+        A fully-degraded study is technically "ok" (nothing failed), yet
+        no figure can be trusted at face value — the CLI surfaces this as
+        its own exit code (4) so CI catches silent full degradation.
+        """
+        return bool(self.outcomes) and all(
+            o.status is AnalysisStatus.DEGRADED for o in self.outcomes)
 
     def counts(self) -> Dict[AnalysisStatus, int]:
         out = {status: 0 for status in AnalysisStatus}
@@ -98,6 +114,7 @@ class StudyReport:
         counts = self.counts()
         return {
             "ok": self.ok,
+            "all_degraded": self.all_degraded,
             "counts": {status.value: counts[status]
                        for status in AnalysisStatus},
             "warnings": list(self.warnings),
@@ -108,6 +125,8 @@ class StudyReport:
                     "seconds": o.seconds,
                     "error": o.error,
                     "error_type": o.error_type,
+                    "attempts": o.attempts,
+                    "timeouts": o.timeouts,
                 }
                 for o in self.outcomes
             ],
@@ -126,6 +145,8 @@ class StudyReport:
         width = max((len(o.name) for o in self.outcomes), default=0)
         for o in self.outcomes:
             line = f"  {o.name.ljust(width)}  {o.status.value:8s}"
+            if o.attempts > 1:
+                line += f"  [{o.attempts} attempts, {o.timeouts} timeouts]"
             if o.error is not None:
                 line += f"  {o.error_type}: {o.error}"
             lines.append(line)

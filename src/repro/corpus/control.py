@@ -166,6 +166,14 @@ class ControlPlaneCorpus:
         report = IngestReport(source=str(path), policy=on_error,
                               quarantine_path=(None if quarantine_path is None
                                                else str(quarantine_path)))
+        # records already quarantined by an earlier pass are recognised by
+        # checksum and neither re-quarantined nor double-counted
+        existing_quarantine: List[str] = []
+        if quarantine_path is not None and Path(quarantine_path).exists():
+            existing_quarantine = [
+                line for line in Path(quarantine_path).read_text(
+                    encoding="utf-8", errors="replace").splitlines() if line]
+            report.seed_quarantine_digests(existing_quarantine)
         messages: List[BGPUpdate] = []
         with telem.span("ingest.control", source=str(path),
                         policy=on_error) as sp:
@@ -176,9 +184,12 @@ class ControlPlaneCorpus:
                 else:
                     report.record_problem(f"{Path(path).name}:{line_no}",
                                           item[0], payload=item[1])
-            if quarantine_path is not None and report.quarantined:
-                with open(quarantine_path, "w", encoding="utf-8") as fh:
-                    for payload in report.quarantined:
+            if quarantine_path is not None and (existing_quarantine
+                                                or report.quarantined):
+                from repro.runtime.atomic import atomic_writer
+
+                with atomic_writer(quarantine_path) as fh:
+                    for payload in existing_quarantine + report.quarantined:
                         fh.write(payload + "\n")
             corpus = cls(messages, on_error=on_error, ingest_report=report)
             sp.attrs["records"] = report.total

@@ -17,8 +17,9 @@ Every corpus loader accepts an ``on_error`` policy:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Set
 
 from repro.errors import IngestError
 
@@ -67,6 +68,12 @@ class IngestReport:
     problems: List[IngestProblem] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
     quarantine_path: Optional[str] = None
+    #: payloads suppressed because their checksum was already quarantined
+    #: (a re-ingested corpus must not double-count its quarantine store)
+    quarantine_duplicates: int = 0
+    #: SHA-256 digests of every payload seen (pre-seeded from an existing
+    #: quarantine file), the dedupe key for :attr:`quarantined`
+    quarantine_digests: Set[str] = field(default_factory=set)
 
     @property
     def ok(self) -> bool:
@@ -77,14 +84,29 @@ class IngestReport:
     def loss_fraction(self) -> float:
         return self.skipped / self.total if self.total else 0.0
 
+    def seed_quarantine_digests(self, payloads: Iterable[str]) -> None:
+        """Register payloads already quarantined by an earlier pass so they
+        are not quarantined (and counted) again — records are identified
+        by checksum, not position."""
+        for payload in payloads:
+            self.quarantine_digests.add(payload_digest(payload))
+
+    def _quarantine(self, payload: str) -> None:
+        digest = payload_digest(payload)
+        if digest in self.quarantine_digests:
+            self.quarantine_duplicates += 1
+            return
+        self.quarantine_digests.add(digest)
+        if len(self.quarantined) < MAX_QUARANTINED:
+            self.quarantined.append(payload)
+
     def record_problem(self, location: str, reason: str,
                        payload: Optional[str] = None) -> None:
         self.skipped += 1
         if len(self.problems) < MAX_PROBLEMS:
             self.problems.append(IngestProblem(location=location, reason=reason))
-        if (payload is not None and self.policy == "collect"
-                and len(self.quarantined) < MAX_QUARANTINED):
-            self.quarantined.append(payload)
+        if payload is not None and self.policy == "collect":
+            self._quarantine(payload)
 
     def merge_from(self, other: "IngestReport") -> None:
         """Fold a later validation pass into this report (counts add;
@@ -94,8 +116,7 @@ class IngestReport:
             if len(self.problems) < MAX_PROBLEMS:
                 self.problems.append(problem)
         for payload in other.quarantined:
-            if len(self.quarantined) < MAX_QUARANTINED:
-                self.quarantined.append(payload)
+            self._quarantine(payload)
 
     def format(self) -> str:
         lines = [
@@ -108,4 +129,12 @@ class IngestReport:
             lines.append(f"  … and {self.skipped - len(self.problems)} more")
         if self.quarantine_path:
             lines.append(f"  quarantine: {self.quarantine_path}")
+        if self.quarantine_duplicates:
+            lines.append(f"  {self.quarantine_duplicates} record(s) already "
+                         "quarantined (deduped by checksum)")
         return "\n".join(lines)
+
+
+def payload_digest(payload: str) -> str:
+    """The dedupe key of one quarantined record: SHA-256 of its bytes."""
+    return hashlib.sha256(payload.encode("utf-8", "replace")).hexdigest()

@@ -55,7 +55,10 @@ def build_manifest(corpus_dir: str | Path,
     corpus_dir = Path(corpus_dir)
     files = {}
     for entry in sorted(corpus_dir.iterdir()):
-        if entry.is_file() and entry.name != MANIFEST_FILE:
+        # dot-prefixed entries are runtime internals (checkpoint journal,
+        # segment scratch dir, atomic-write temporaries) — not corpus data
+        if entry.is_file() and entry.name != MANIFEST_FILE \
+                and not entry.name.startswith("."):
             files[entry.name] = {
                 "sha256": file_sha256(entry),
                 "bytes": entry.stat().st_size,
@@ -69,10 +72,18 @@ def build_manifest(corpus_dir: str | Path,
 def write_manifest(corpus_dir: str | Path,
                    counts: Optional[Dict[str, int]] = None,
                    run: Optional[dict] = None) -> Path:
+    """Write ``manifest.json`` atomically (temp file + fsync + rename).
+
+    A crash mid-write therefore leaves either the previous manifest or
+    none at all — never a truncated file that ``validate`` would report
+    as malformed instead of missing.
+    """
+    from repro.runtime.atomic import atomic_write_text
+
     corpus_dir = Path(corpus_dir)
     path = corpus_dir / MANIFEST_FILE
-    path.write_text(json.dumps(build_manifest(corpus_dir, counts, run=run),
-                               indent=2))
+    atomic_write_text(path, json.dumps(
+        build_manifest(corpus_dir, counts, run=run), indent=2))
     return path
 
 

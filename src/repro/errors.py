@@ -56,3 +56,16 @@ class AnalysisError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry artifact (trace file, metrics dump) is unreadable."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is unusable or does not match the run.
+
+    Raised when ``--resume`` finds a journal written by a different
+    configuration/seed, or when the journal itself is corrupt beyond the
+    tolerated torn trailing line.
+    """
+
+
+class SupervisorError(ReproError):
+    """The supervised analysis runner was misconfigured or cannot run."""

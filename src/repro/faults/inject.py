@@ -34,6 +34,14 @@ from repro.faults.spec import (
 )
 
 
+#: quarantine sidecars (``<plane>.quarantine.jsonl``) are not corpora
+QUARANTINE_MARKER = ".quarantine."
+
+
+def _is_quarantine(path: Path) -> bool:
+    return QUARANTINE_MARKER in path.name
+
+
 def _rng(seed: int, index: int, spec: FaultSpec) -> np.random.Generator:
     return np.random.default_rng(spec_rng_seed(seed, index, spec))
 
@@ -96,11 +104,18 @@ def degrade_corpus_dir(
     report = FaultReport(seed=seed, target=str(src))
 
     for side in src.iterdir():
-        if side.is_file() and side.suffix not in (".jsonl", ".npz"):
+        if side.name.startswith("."):
+            continue  # runtime internals (checkpoint journal, scratch)
+        if side.is_file() and (_is_quarantine(side)
+                               or side.suffix not in (".jsonl", ".npz")):
+            # sidecars — including quarantine stores, which hold malformed
+            # records by definition — are copied verbatim, never degraded
             shutil.copyfile(side, dst / side.name)
 
     telem = telemetry.current()
     for jsonl in sorted(src.glob("*.jsonl")):
+        if jsonl.name.startswith(".") or _is_quarantine(jsonl):
+            continue
         with telem.span("inject.control", source=jsonl.name):
             messages = [m for _, m in read_updates_jsonl(jsonl)]
             for i, spec in enumerate(specs):
@@ -116,6 +131,8 @@ def degrade_corpus_dir(
             write_updates_jsonl(messages, dst / jsonl.name)
 
     for npz in sorted(src.glob("*.npz")):
+        if npz.name.startswith("."):
+            continue
         with telem.span("inject.data", source=npz.name):
             packets, rate = read_packets_npz(npz)
             for i, spec in enumerate(specs):

@@ -1,0 +1,103 @@
+"""Atomic, durable file writes.
+
+Every artifact the crash-safe execution layer persists — corpus segments,
+final corpus files, ``manifest.json``, checkpoint journal headers — goes
+through one of these helpers: the content is written to a temporary file
+*in the same directory*, flushed and fsynced, then :func:`os.replace`\\ d
+over the destination, and finally the directory entry itself is fsynced.
+A reader therefore observes either the old file or the complete new file,
+never a truncated hybrid — a crash mid-write leaves only a ``.tmp-*``
+orphan that the next run quietly removes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+#: prefix of the same-directory temporaries (cleanup keys off it)
+TMP_PREFIX = ".tmp-"
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best effort: platforms/filesystems that refuse to open directories
+    (or to fsync them) are silently tolerated — the rename itself is
+    still atomic there.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(path: str | Path, mode: str = "w",
+                  encoding: str | None = "utf-8") -> Iterator:
+    """Context manager yielding a file handle whose content replaces
+    ``path`` atomically on clean exit.
+
+    On an exception inside the block the temporary is removed and the
+    destination is left exactly as it was.  ``mode`` must be a write mode
+    (``"w"`` or ``"wb"``).
+    """
+    path = Path(path)
+    if "b" in mode:
+        encoding = None
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=TMP_PREFIX + path.name + "-")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``."""
+    path = Path(path)
+    with atomic_writer(path, mode="wb") as fh:
+        fh.write(data)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    path = Path(path)
+    with atomic_writer(path, mode="w", encoding=encoding) as fh:
+        fh.write(text)
+    return path
+
+
+def remove_stale_tmp(directory: str | Path) -> int:
+    """Delete orphaned ``.tmp-*`` files left by a killed writer.
+
+    Returns the number of orphans removed; a directory that does not
+    exist yet counts as clean.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for entry in directory.iterdir():
+        if entry.is_file() and entry.name.startswith(TMP_PREFIX):
+            entry.unlink(missing_ok=True)
+            removed += 1
+    return removed

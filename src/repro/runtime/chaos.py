@@ -1,0 +1,52 @@
+"""Chaos hooks: environment-driven crash and hang injection.
+
+The chaos tests (and the CI chaos job) exercise the crash-safety
+guarantees by killing the pipeline at precise checkpoint boundaries and
+by hanging individual analyses.  Both hooks are driven by environment
+variables so the victim can be a plain CLI subprocess:
+
+``REPRO_CHAOS_KILL_AT=commit:segment:control:001``
+    SIGKILL the current process the moment the named chaos point is
+    reached (checkpoint commits announce ``commit:<step key>``).  The
+    process dies exactly as an OOM-killed or power-cut run would — no
+    atexit handlers, no flushing.
+
+``REPRO_CHAOS_HANG=fig3_load:30``
+    The supervised analysis runner sleeps the given number of seconds in
+    the child process before running the named analysis — a deliberate
+    hang for the timeout/retry machinery to kill.  Comma-separated pairs
+    inject multiple hangs.
+
+Both variables are inert in normal operation; the hooks cost one ``dict``
+lookup when unset.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+KILL_ENV = "REPRO_CHAOS_KILL_AT"
+HANG_ENV = "REPRO_CHAOS_HANG"
+
+
+def maybe_kill(point: str) -> None:
+    """SIGKILL ourselves if ``point`` is the configured kill point."""
+    target = os.environ.get(KILL_ENV)
+    if target is not None and target == point:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def injected_hang(name: str) -> float:
+    """Seconds the named analysis should sleep before running (0 = none)."""
+    spec = os.environ.get(HANG_ENV)
+    if not spec:
+        return 0.0
+    for pair in spec.split(","):
+        key, _, seconds = pair.partition(":")
+        if key.strip() == name:
+            try:
+                return max(0.0, float(seconds))
+            except ValueError:
+                return 0.0
+    return 0.0

@@ -1,0 +1,260 @@
+"""Atomic, checkpointed corpus generation.
+
+``repro generate`` routes through :func:`checkpointed_generate`: the
+scenario runs in memory exactly as before (it is deterministic in the
+seed), but the corpus is persisted in *day-sized segments*, each written
+atomically (temp file + fsync + rename) and committed to a
+:class:`~repro.runtime.checkpoint.CheckpointJournal` with its SHA-256.
+The final corpus files are then assembled *from the committed segments*
+and written atomically too, so ``manifest.json`` never describes a
+half-written directory.
+
+Resume semantics (``repro generate --resume``):
+
+* the journal header must match the requested command/seed/config hash,
+  otherwise :class:`~repro.errors.CheckpointError`;
+* a run whose ``finalize`` step is journaled returns immediately;
+* otherwise the scenario is re-executed (cheap relative to I/O at
+  production scale, and byte-deterministic), already-committed segments
+  whose on-disk checksum still matches are skipped, and the remaining
+  segments plus finalize are redone.
+
+Because segments are contiguous time slices of the sorted corpora,
+concatenating them reproduces exactly the bytes an uninterrupted run
+writes — the chaos tests assert the checksums match.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.corpus.control import update_to_json
+from repro.corpus.manifest import (
+    CONTROL_FILE,
+    DATA_FILE,
+    MANIFEST_FILE,
+    META_FILE,
+    file_sha256,
+    write_manifest,
+)
+from repro.errors import CheckpointError
+from repro.runtime.atomic import atomic_writer, remove_stale_tmp
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.runner import ScenarioResult, run_scenario
+
+#: journal + scratch locations inside the output corpus directory; both
+#: are dot-prefixed so manifests exclude them (see ``build_manifest``)
+JOURNAL_FILE = ".checkpoint.jsonl"
+SEGMENT_DIR = ".segments"
+
+FINALIZE_KEY = "finalize"
+
+
+@dataclass
+class GenerateReport:
+    """What one (possibly resumed) checkpointed generation did."""
+
+    out_dir: str
+    control_messages: int = 0
+    data_packets: int = 0
+    segments_total: int = 0
+    segments_written: int = 0
+    segments_skipped: int = 0
+    resumed: bool = False
+    already_complete: bool = False
+    manifest_path: Optional[str] = None
+
+    def format(self) -> str:
+        if self.already_complete:
+            return (f"{self.out_dir}: already complete "
+                    f"({self.segments_total} segments journaled); "
+                    "nothing to do")
+        verb = "resumed" if self.resumed else "wrote"
+        return (f"{verb} {self.control_messages} control messages, "
+                f"{self.data_packets} sampled packets in "
+                f"{self.segments_total} day segments "
+                f"({self.segments_skipped} already committed), "
+                f"platform metadata, and {MANIFEST_FILE} to {self.out_dir}/")
+
+
+def _segment_key(plane: str, day: int) -> str:
+    return f"segment:{plane}:{day:03d}"
+
+
+def _segment_name(plane: str, day: int) -> str:
+    suffix = "jsonl" if plane == "control" else "npz"
+    return f"{plane}-{day:03d}.{suffix}"
+
+
+def _header(config: ScenarioConfig) -> dict:
+    return {
+        "command": "generate",
+        "seed": config.seed,
+        "config_hash": telemetry.config_hash(config),
+    }
+
+
+def checkpointed_generate(
+    config: ScenarioConfig,
+    out_dir: str | Path,
+    *,
+    resume: bool = False,
+    run: Optional[dict] = None,
+    extra_meta: Optional[dict] = None,
+) -> GenerateReport:
+    """Generate (or finish generating) a corpus directory crash-safely.
+
+    ``run`` is the telemetry run manifest embedded into
+    ``manifest.json``; ``extra_meta`` is merged into ``platform.json``
+    (the CLI records scale/days/seed there).
+    """
+    from time import perf_counter
+
+    t0 = perf_counter()
+    telem = telemetry.current()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    seg_dir = out / SEGMENT_DIR
+    remove_stale_tmp(out)
+    remove_stale_tmp(seg_dir)
+
+    header = _header(config)
+    journal = CheckpointJournal.load(out / JOURNAL_FILE)
+    report = GenerateReport(out_dir=str(out), resumed=resume)
+    if resume and journal.header is not None:
+        journal.require_header(header)
+        finalized = journal.committed(FINALIZE_KEY)
+        if finalized is not None and (out / MANIFEST_FILE).exists():
+            report.already_complete = True
+            report.segments_total = max(0, len(journal) - 1)
+            report.control_messages = finalized.get("control_messages", 0)
+            report.data_packets = finalized.get("data_packets", 0)
+            report.manifest_path = str(out / MANIFEST_FILE)
+            return report
+    else:
+        # fresh run: truncate any previous journal and scratch segments
+        if seg_dir.exists():
+            shutil.rmtree(seg_dir)
+        journal.start(header)
+        report.resumed = False
+    seg_dir.mkdir(exist_ok=True)
+
+    result = run_scenario(config)
+
+    with telem.span("generate.write", out=str(out)):
+        with telem.span("generate.segments", days=result.day_count):
+            segments = _write_segments(result, seg_dir, journal, report)
+        if run is not None:
+            # stamp the elapsed wall time into the embedded provenance
+            # record before it is checksummed into the manifest
+            run = dict(run)
+            run["wall_seconds"] = perf_counter() - t0
+        with telem.span("generate.finalize"):
+            _finalize(result, out, seg_dir, segments, journal, report,
+                      run=run, extra_meta=extra_meta)
+    shutil.rmtree(seg_dir, ignore_errors=True)
+    return report
+
+
+def _write_segments(result: ScenarioResult, seg_dir: Path,
+                    journal: CheckpointJournal,
+                    report: GenerateReport) -> Dict[str, List[Path]]:
+    """Write every day slice of both corpora, skipping committed ones."""
+    telem = telemetry.current()
+    paths: Dict[str, List[Path]] = {"control": [], "data": []}
+    control_slices = result.control_day_slices()
+    data_slices = result.data_day_slices()
+    for plane, slices in (("control", control_slices), ("data", data_slices)):
+        for day, chunk in enumerate(slices):
+            path = seg_dir / _segment_name(plane, day)
+            paths[plane].append(path)
+            report.segments_total += 1
+            entry = journal.committed(_segment_key(plane, day))
+            if entry is not None and path.exists() \
+                    and file_sha256(path) == entry.get("sha256"):
+                report.segments_skipped += 1
+                telem.counter("runtime.segments", plane=plane,
+                              outcome="skipped").inc()
+                continue
+            if plane == "control":
+                with atomic_writer(path) as fh:
+                    for msg in chunk:
+                        fh.write(json.dumps(update_to_json(msg)) + "\n")
+            else:
+                with atomic_writer(path, mode="wb") as fh:
+                    np.savez_compressed(fh, packets=chunk)
+            journal.commit(_segment_key(plane, day),
+                           sha256=file_sha256(path),
+                           bytes=path.stat().st_size,
+                           records=len(chunk))
+            report.segments_written += 1
+            telem.counter("runtime.segments", plane=plane,
+                          outcome="written").inc()
+    return paths
+
+
+def _finalize(result: ScenarioResult, out: Path, seg_dir: Path,
+              segments: Dict[str, List[Path]], journal: CheckpointJournal,
+              report: GenerateReport, *, run: Optional[dict],
+              extra_meta: Optional[dict]) -> None:
+    """Assemble the final corpus files from the committed segments."""
+    # control.jsonl: byte-concatenation of the day segments
+    with atomic_writer(out / CONTROL_FILE, mode="wb") as fh:
+        for seg in segments["control"]:
+            fh.write(seg.read_bytes())
+    # data.npz: one packed record array from the day slices
+    arrays = [np.load(seg)["packets"] for seg in segments["data"]]
+    packets = np.concatenate(arrays)
+    with atomic_writer(out / DATA_FILE, mode="wb") as fh:
+        np.savez_compressed(fh, packets=packets,
+                            sampling_rate=result.data.sampling_rate)
+    meta = _platform_meta(result)
+    meta.update(extra_meta or {})
+    with atomic_writer(out / META_FILE) as fh:
+        fh.write(json.dumps(meta, indent=2))
+
+    counts = {"control_messages": len(result.control),
+              "data_packets": len(result.data)}
+    manifest_path = write_manifest(out, counts=counts, run=run)
+    report.control_messages = counts["control_messages"]
+    report.data_packets = counts["data_packets"]
+    report.manifest_path = str(manifest_path)
+    journal.commit(
+        FINALIZE_KEY,
+        control_messages=counts["control_messages"],
+        data_packets=counts["data_packets"],
+        control_sha256=file_sha256(out / CONTROL_FILE),
+        data_sha256=file_sha256(out / DATA_FILE),
+    )
+
+
+def _platform_meta(result: ScenarioResult) -> dict:
+    """The ``platform.json`` sidecar the analysis pipeline needs."""
+    return {
+        "peer_asns": result.ixp.member_asns,
+        "route_server_asn": result.ixp.route_server.asn,
+        "sampling_rate": result.data.sampling_rate,
+        "peeringdb": [
+            {"asn": r.asn, "name": r.name,
+             "org_type": r.org_type.value, "scope": r.scope}
+            for r in result.ixp.peeringdb
+        ],
+    }
+
+
+def verify_resumable(out_dir: str | Path, config: ScenarioConfig) -> None:
+    """Raise :class:`CheckpointError` unless ``out_dir`` holds a journal
+    this configuration can resume (used by the CLI for early feedback)."""
+    journal = CheckpointJournal.load(Path(out_dir) / JOURNAL_FILE)
+    if journal.header is None:
+        raise CheckpointError(
+            f"{out_dir}: no checkpoint journal; run without --resume first")
+    journal.require_header(_header(config))

@@ -87,6 +87,40 @@ class ScenarioResult:
     def ground_truth_events(self, category: EventCategory) -> List[PlannedEvent]:
         return self.plan.events_of(category)
 
+    # -- day-sized segmentation (crash-safe corpus writing) -------------------
+
+    @property
+    def day_count(self) -> int:
+        """Number of day-sized segments the corpora split into."""
+        return max(1, int(np.ceil(self.config.duration / DAY)))
+
+    def control_day_slices(self) -> List[List[BGPUpdate]]:
+        """The control-plane messages split into contiguous day slices.
+
+        Both corpora are time-sorted, so a day slice is a contiguous run
+        and concatenating the slices reproduces the corpus byte for byte
+        — the invariant checkpointed generation relies on.  Out-of-range
+        timestamps (the clock-skewed first messages, anything at or past
+        ``duration``) are clamped into the first/last day.
+        """
+        messages = list(self.control)
+        times = np.array([m.time for m in messages], dtype=np.float64)
+        return [messages[lo:hi] for lo, hi in _day_bounds(times, self.day_count)]
+
+    def data_day_slices(self) -> List[np.ndarray]:
+        """The sampled-packet array split into contiguous day slices."""
+        times = self.data.packets["time"].astype(np.float64)
+        return [self.data.packets[lo:hi]
+                for lo, hi in _day_bounds(times, self.day_count)]
+
+
+def _day_bounds(times: np.ndarray, days: int) -> List[tuple]:
+    """Per-day ``(lo, hi)`` index bounds into a sorted timestamp array."""
+    edges = np.arange(1, days) * DAY
+    cuts = [0] + [int(i) for i in np.searchsorted(times, edges, side="left")]
+    cuts.append(len(times))
+    return list(zip(cuts[:-1], cuts[1:]))
+
 
 def _policy_for(kind: PolicyKind, salt: int) -> ImportPolicy:
     if kind is PolicyKind.WHITELIST_32:

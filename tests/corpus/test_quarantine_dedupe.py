@@ -1,0 +1,105 @@
+"""Tests for quarantine checksum dedupe: re-ingesting a corpus whose bad
+records were already quarantined must not double-count or re-quarantine
+them, and fault injection must carry quarantine sidecars verbatim."""
+
+import json
+
+import pytest
+
+from repro.bgp.message import announce
+from repro.corpus import ControlPlaneCorpus
+from repro.corpus.control import update_to_json
+from repro.corpus.ingest import IngestReport, payload_digest
+from repro.faults import FaultSpec, degrade_corpus_dir
+from repro.net import IPv4Address, IPv4Prefix
+
+BAD_X = '{"time": "not-a-number"}'
+BAD_Y = "utterly not json"
+
+
+def write_corpus(path):
+    msgs = [announce(t, 100 + int(t), IPv4Prefix("198.51.100.0/24"),
+                     IPv4Address("192.0.2.1")) for t in (1.0, 2.0)]
+    lines = [json.dumps(update_to_json(m)) for m in msgs]
+    # the same malformed record twice, plus a distinct one
+    lines[1:1] = [BAD_X, BAD_X, BAD_Y]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    return write_corpus(tmp_path / "control.jsonl")
+
+
+class TestFirstIngest:
+    def test_duplicates_quarantined_once(self, corpus_file, tmp_path):
+        q = tmp_path / "control.quarantine.jsonl"
+        corpus = ControlPlaneCorpus.load_jsonl(corpus_file,
+                                               on_error="collect",
+                                               quarantine_path=q)
+        report = corpus.ingest_report
+        assert report.skipped == 3          # every bad line is dropped...
+        assert report.quarantined == [BAD_X, BAD_Y]  # ...stored once each
+        assert report.quarantine_duplicates == 1
+        assert q.read_text().splitlines() == [BAD_X, BAD_Y]
+
+    def test_format_mentions_dedupe(self, corpus_file, tmp_path):
+        q = tmp_path / "q.jsonl"
+        report = ControlPlaneCorpus.load_jsonl(
+            corpus_file, on_error="collect",
+            quarantine_path=q).ingest_report
+        assert "deduped by checksum" in report.format()
+
+
+class TestReIngest:
+    def test_second_pass_does_not_double_count(self, corpus_file, tmp_path):
+        q = tmp_path / "control.quarantine.jsonl"
+        kwargs = dict(on_error="collect", quarantine_path=q)
+        ControlPlaneCorpus.load_jsonl(corpus_file, **kwargs)
+        before = q.read_text()
+
+        report = ControlPlaneCorpus.load_jsonl(corpus_file,
+                                               **kwargs).ingest_report
+        # all three bad lines match already-quarantined checksums
+        assert report.quarantined == []
+        assert report.quarantine_duplicates == 3
+        assert report.skipped == 3  # the records are still dropped
+        assert q.read_text() == before  # the store does not grow
+
+
+class TestMergeDedupe:
+    def test_merge_from_dedupes_by_checksum(self):
+        first = IngestReport(source="a", policy="collect")
+        first.record_problem("a:1", "bad", payload=BAD_X)
+        second = IngestReport(source="b", policy="collect")
+        second.record_problem("b:1", "bad", payload=BAD_X)
+        second.record_problem("b:2", "bad", payload=BAD_Y)
+        first.merge_from(second)
+        assert first.quarantined == [BAD_X, BAD_Y]
+        assert first.quarantine_duplicates == 1
+        assert first.skipped == 3
+
+    def test_digest_is_content_addressed(self):
+        assert payload_digest(BAD_X) == payload_digest(BAD_X)
+        assert payload_digest(BAD_X) != payload_digest(BAD_Y)
+
+
+class TestInjectCarriesQuarantineVerbatim:
+    def test_sidecar_copied_not_degraded(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        msgs = [announce(t, 101, IPv4Prefix("198.51.100.0/24"),
+                         IPv4Address("192.0.2.1")) for t in (1.0, 2.0)]
+        (src / "control.jsonl").write_text(
+            "\n".join(json.dumps(update_to_json(m)) for m in msgs) + "\n")
+        quarantine = src / "control.quarantine.jsonl"
+        quarantine.write_text(BAD_X + "\n" + BAD_Y + "\n")
+        (src / ".checkpoint.jsonl").write_text('{"type": "header"}\n')
+
+        dst = tmp_path / "dst"
+        degrade_corpus_dir(src, dst, [FaultSpec.parse("drop:0.5")], seed=1)
+        # the quarantine store crosses unmodified; runtime internals do not
+        assert (dst / "control.quarantine.jsonl").read_text() \
+            == quarantine.read_text()
+        assert not (dst / ".checkpoint.jsonl").exists()

@@ -1,0 +1,81 @@
+"""Tests for the atomic write helpers: replace-or-nothing semantics,
+temporary-file hygiene, and stale-orphan cleanup."""
+
+import pytest
+
+from repro.runtime.atomic import (
+    TMP_PREFIX,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    remove_stale_tmp,
+)
+
+
+def tmp_orphans(directory):
+    return [p for p in directory.iterdir() if p.name.startswith(TMP_PREFIX)]
+
+
+class TestAtomicWriter:
+    def test_creates_new_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(target) as fh:
+            fh.write("hello\n")
+        assert target.read_text() == "hello\n"
+        assert tmp_orphans(tmp_path) == []
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_writer(target) as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+
+    def test_exception_leaves_original_intact(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as fh:
+                fh.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "original"
+        assert tmp_orphans(tmp_path) == []
+
+    def test_exception_without_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(ValueError):
+            with atomic_writer(target) as fh:
+                fh.write("doomed")
+                raise ValueError
+        assert not target.exists()
+        assert tmp_orphans(tmp_path) == []
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_writer(target, mode="wb") as fh:
+            fh.write(b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+
+class TestConvenienceWrappers:
+    def test_write_bytes(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "b", b"abc")
+        assert path.read_bytes() == b"abc"
+
+    def test_write_text(self, tmp_path):
+        path = atomic_write_text(tmp_path / "t", "xyz")
+        assert path.read_text() == "xyz"
+
+
+class TestRemoveStaleTmp:
+    def test_removes_only_orphans(self, tmp_path):
+        keep = tmp_path / "real.txt"
+        keep.write_text("keep")
+        (tmp_path / f"{TMP_PREFIX}real.txt-ab12").write_text("orphan")
+        (tmp_path / f"{TMP_PREFIX}other-cd34").write_text("orphan")
+        assert remove_stale_tmp(tmp_path) == 2
+        assert keep.read_text() == "keep"
+        assert tmp_orphans(tmp_path) == []
+
+    def test_missing_directory_is_clean(self, tmp_path):
+        assert remove_stale_tmp(tmp_path / "nope") == 0

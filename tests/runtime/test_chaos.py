@@ -1,0 +1,136 @@
+"""Chaos tests: SIGKILL the real CLI at injected commit points and assert
+that ``--resume`` converges on exactly the artifacts of an uninterrupted
+run — identical corpus checksums, identical study statuses.
+
+These drive ``python -m repro`` in subprocesses because the injected
+kills (``REPRO_CHAOS_KILL_AT``) take down the whole process, and the
+hang injection (``REPRO_CHAOS_HANG``) must be killed by the supervisor
+across a process boundary.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import (
+    ANALYZE_JOURNAL_FILE,
+    EXIT_FAILURES,
+    EXIT_OK,
+    MANIFEST_FILE,
+)
+from repro.runtime.chaos import HANG_ENV, KILL_ENV
+from repro.runtime.generate import JOURNAL_FILE
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+GENERATE = ["generate", "--scale", "0.005", "--days", "3", "--seed", "3"]
+ANALYZE = ["analyze", "--host-min-days", "2"]
+
+
+def run_cli(args, chaos=None):
+    env = {k: v for k, v in os.environ.items()
+           if k not in (KILL_ENV, HANG_ENV)}
+    env["PYTHONPATH"] = str(SRC)
+    env.update(chaos or {})
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, env=env)
+
+
+def manifest_files(corpus):
+    return json.loads((corpus / MANIFEST_FILE).read_text())["files"]
+
+
+def status_map(report_json):
+    return {a["name"]: a["status"] for a in report_json["analyses"]}
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted generate + supervised analyze: the ground truth
+    every kill-and-resume run must converge to."""
+    corpus = tmp_path_factory.mktemp("chaos-baseline") / "corpus"
+    proc = run_cli([*GENERATE, "--out", str(corpus)])
+    assert proc.returncode == EXIT_OK, proc.stderr
+    proc = run_cli([*ANALYZE, str(corpus), "--supervised", "--json"])
+    assert proc.returncode == EXIT_OK, proc.stderr
+    return {"corpus": corpus, "files": manifest_files(corpus),
+            "report": json.loads(proc.stdout)}
+
+
+@pytest.fixture
+def corpus_copy(baseline, tmp_path):
+    dst = tmp_path / "corpus"
+    shutil.copytree(baseline["corpus"], dst)
+    (dst / ANALYZE_JOURNAL_FILE).unlink(missing_ok=True)
+    return dst
+
+
+class TestGenerateKillAndResume:
+    @pytest.mark.parametrize("kill_at", [
+        "commit:segment:control:000",  # first committed step
+        "commit:segment:data:002",     # last segment before finalize
+        "commit:finalize",             # everything written, then killed
+    ])
+    def test_resume_reproduces_identical_corpus(self, tmp_path, baseline,
+                                                kill_at):
+        out = tmp_path / "corpus"
+        killed = run_cli([*GENERATE, "--out", str(out)],
+                         chaos={KILL_ENV: kill_at})
+        assert killed.returncode == -signal.SIGKILL
+        resumed = run_cli([*GENERATE, "--out", str(out), "--resume"])
+        assert resumed.returncode == EXIT_OK, resumed.stderr
+        assert manifest_files(out) == baseline["files"]
+
+    def test_resume_of_complete_corpus_is_noop(self, corpus_copy, baseline):
+        proc = run_cli([*GENERATE, "--out", str(corpus_copy), "--resume"])
+        assert proc.returncode == EXIT_OK, proc.stderr
+        assert "already complete" in proc.stdout
+        assert manifest_files(corpus_copy) == baseline["files"]
+
+
+class TestAnalyzeKillAndResume:
+    def test_resume_converges_to_baseline_statuses(self, corpus_copy,
+                                                   baseline):
+        killed = run_cli([*ANALYZE, str(corpus_copy), "--supervised",
+                          "--json"],
+                         chaos={KILL_ENV: "commit:analysis:fig3_load"})
+        assert killed.returncode == -signal.SIGKILL
+        # the first two analyses reached terminal states before the kill
+        journal = (corpus_copy / ANALYZE_JOURNAL_FILE).read_text()
+        assert "analysis:fig2_time_offset" in journal
+        assert "analysis:fig3_load" in journal
+
+        resumed = run_cli([*ANALYZE, str(corpus_copy), "--resume", "--json"])
+        assert resumed.returncode == EXIT_OK, resumed.stderr
+        report = json.loads(resumed.stdout)
+        assert report["ok"] and not report["all_degraded"]
+        assert status_map(report) == status_map(baseline["report"])
+
+
+class TestHangIsolation:
+    def test_hung_analysis_is_killed_retried_and_reported(self, corpus_copy,
+                                                          tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        proc = run_cli(
+            [*ANALYZE, str(corpus_copy), "--timeout", "1", "--retries", "1",
+             "--json", "--metrics", str(metrics_path)],
+            chaos={HANG_ENV: "fig3_load:60"})
+        assert proc.returncode == EXIT_FAILURES, proc.stderr
+        report = json.loads(proc.stdout)
+        statuses = status_map(report)
+        hung = next(a for a in report["analyses"]
+                    if a["name"] == "fig3_load")
+        assert hung["status"] == "failed"
+        assert hung["error_type"] == "AnalysisTimeout"
+        assert hung["attempts"] == 2 and hung["timeouts"] == 2
+        # one hung analysis must not poison the other fifteen
+        others = {n: s for n, s in statuses.items() if n != "fig3_load"}
+        assert set(others.values()) == {"ok"}
+        counters = json.loads(metrics_path.read_text())["metrics"]["counters"]
+        assert counters["supervisor.timeouts{name=fig3_load}"] == 2
+        assert counters["supervisor.retries{name=fig3_load}"] == 1

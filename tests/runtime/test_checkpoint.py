@@ -1,0 +1,87 @@
+"""Tests for the checkpoint journal: durable commits, reload semantics,
+torn-tail tolerance, and header guards against cross-run resume."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import CheckpointJournal
+
+HEADER = {"command": "generate", "seed": 7, "config_hash": "abc123"}
+
+
+@pytest.fixture
+def journal(tmp_path):
+    j = CheckpointJournal(tmp_path / "journal.jsonl")
+    j.start(HEADER)
+    return j
+
+
+class TestCommitRoundtrip:
+    def test_commit_then_reload(self, journal):
+        journal.commit("segment:control:000", sha256="aa", bytes=10)
+        journal.commit("segment:data:000", sha256="bb", bytes=20)
+        reloaded = CheckpointJournal.load(journal.path)
+        assert reloaded.header["seed"] == 7
+        assert len(reloaded) == 2
+        assert reloaded.committed("segment:control:000")["sha256"] == "aa"
+        assert reloaded.committed("segment:data:000")["bytes"] == 20
+        assert reloaded.committed("never-committed") is None
+
+    def test_keys_in_insertion_order(self, journal):
+        for key in ("a", "b", "c"):
+            journal.commit(key)
+        assert list(CheckpointJournal.load(journal.path).keys()) == ["a", "b", "c"]
+
+    def test_start_truncates_previous_run(self, journal):
+        journal.commit("stale-step")
+        journal.start({"command": "generate", "seed": 8})
+        reloaded = CheckpointJournal.load(journal.path)
+        assert len(reloaded) == 0
+        assert reloaded.header["seed"] == 8
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        j = CheckpointJournal.load(tmp_path / "absent.jsonl")
+        assert j.header is None and len(j) == 0
+
+
+class TestCrashTolerance:
+    def test_torn_trailing_line_is_dropped(self, journal):
+        journal.commit("done:1")
+        journal.commit("done:2")
+        # simulate a crash mid-append: a partial JSON line at the tail
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "step", "key": "torn:3", "sha2')
+        reloaded = CheckpointJournal.load(journal.path)
+        assert reloaded.committed("done:1") is not None
+        assert reloaded.committed("done:2") is not None
+        assert reloaded.committed("torn:3") is None
+
+    def test_everything_after_torn_line_is_ignored(self, journal):
+        journal.commit("done:1")
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write("garbage not json\n")
+            fh.write('{"type": "step", "key": "after-garbage"}\n')
+        reloaded = CheckpointJournal.load(journal.path)
+        assert reloaded.committed("done:1") is not None
+        assert reloaded.committed("after-garbage") is None
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(CheckpointError, match="corrupt journal header"):
+            CheckpointJournal.load(path)
+
+
+class TestHeaderGuard:
+    def test_matching_header_passes(self, journal):
+        CheckpointJournal.load(journal.path).require_header(HEADER)
+
+    def test_mismatched_value_refuses_resume(self, journal):
+        reloaded = CheckpointJournal.load(journal.path)
+        with pytest.raises(CheckpointError, match="different run"):
+            reloaded.require_header({**HEADER, "seed": 8})
+
+    def test_no_header_refuses_resume(self, tmp_path):
+        j = CheckpointJournal.load(tmp_path / "absent.jsonl")
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            j.require_header(HEADER)

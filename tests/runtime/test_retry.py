@@ -1,0 +1,102 @@
+"""Tests for the retry policy: exception classification (typed errors are
+never retried), exponential backoff bounds, and deterministic jitter."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CorpusError,
+    FaultInjectionError,
+    IngestError,
+    ReproError,
+    SupervisorError,
+)
+from repro.runtime.retry import (
+    RETRYABLE_EVENTS,
+    RetryPolicy,
+    is_retryable_exception,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("exc", [
+        IngestError("bad record"),
+        FaultInjectionError("bad spec"),
+        AnalysisError("no data"),
+        CorpusError("empty"),
+        ReproError("generic"),
+    ])
+    def test_typed_errors_never_retried(self, exc):
+        assert is_retryable_exception(exc) is False
+
+    @pytest.mark.parametrize("exc", [
+        OSError("I/O error"),
+        MemoryError(),
+        TimeoutError(),
+        ConnectionError(),
+    ])
+    def test_transient_errors_retried(self, exc):
+        assert is_retryable_exception(exc) is True
+
+    @pytest.mark.parametrize("exc", [
+        ValueError("bug"),
+        KeyError("bug"),
+        RuntimeError("bug"),
+        ZeroDivisionError(),
+    ])
+    def test_bugs_not_retried(self, exc):
+        assert is_retryable_exception(exc) is False
+
+    def test_repro_error_wins_over_transient_base(self):
+        # a hypothetical typed/OS hybrid is still deterministic: no retry
+        class HybridError(IngestError, OSError):
+            pass
+
+        assert is_retryable_exception(HybridError("hybrid")) is False
+
+    def test_timeout_and_kill_events_are_retryable(self):
+        assert RETRYABLE_EVENTS == {"timeout", "killed"}
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(max_retries=4, backoff_base=1.0,
+                             backoff_factor=2.0, backoff_max=100.0, jitter=0.0)
+        assert policy.schedule(seed=0) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_backoff_max(self):
+        policy = RetryPolicy(max_retries=6, backoff_base=1.0,
+                             backoff_factor=10.0, backoff_max=50.0, jitter=0.0)
+        assert policy.schedule(seed=0)[-1] == 50.0
+
+    def test_jitter_within_bounds(self):
+        policy = RetryPolicy(max_retries=8, backoff_base=1.0,
+                             backoff_factor=1.0, backoff_max=10.0, jitter=0.5)
+        for delay in policy.schedule(seed=123):
+            assert 1.0 <= delay <= 1.5
+
+    def test_jitter_deterministic_under_seed(self):
+        policy = RetryPolicy(max_retries=5)
+        assert policy.schedule(seed=42) == policy.schedule(seed=42)
+        assert policy.schedule(seed=42) != policy.schedule(seed=43)
+
+    def test_delay_consumes_shared_rng(self):
+        policy = RetryPolicy(max_retries=2, jitter=0.5)
+        rng = random.Random(7)
+        streamed = [policy.delay(0, rng), policy.delay(1, rng)]
+        assert streamed == policy.schedule(seed=7)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"backoff_base": -0.1},
+        {"backoff_max": -1.0},
+        {"backoff_factor": 0.5},
+        {"jitter": -0.2},
+    ])
+    def test_invalid_policy_raises(self, kwargs):
+        with pytest.raises(SupervisorError):
+            RetryPolicy(**kwargs)

@@ -1,0 +1,199 @@
+"""Tests for the supervised analysis runner against a stub pipeline:
+process isolation, timeout kills, retry budgets, journal resume, and the
+telemetry counters the CLI surfaces."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.core.study import AnalysisStatus
+from repro.errors import AnalysisError
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.supervisor import (
+    ANALYSIS_KEY,
+    SupervisorPolicy,
+    run_supervised,
+)
+
+
+class StubPipeline:
+    """Just enough surface for the supervisor: analysis methods,
+    ``degraded_inputs``, and (absent) corpora."""
+
+    degraded_inputs = False
+
+    def ok_fast(self):
+        return {"answer": 42}
+
+    def typed_failure(self):
+        raise AnalysisError("insufficient data")
+
+    def buggy(self):
+        raise RuntimeError("a programming error")
+
+    def transient(self):
+        raise OSError("transient I/O failure")
+
+    def hangs(self):
+        time.sleep(60)
+        return "never"
+
+    def dies(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def big_value(self):
+        # larger than a pipe buffer: the parent must drain the pipe
+        # before joining or the child blocks in send() forever
+        return list(range(200_000))
+
+
+def no_sleep_policy(**kwargs):
+    slept = []
+    policy = SupervisorPolicy(sleep=slept.append, **kwargs)
+    return policy, slept
+
+
+class TestTerminalOutcomes:
+    def test_ok_value_crosses_the_pipe(self):
+        report = run_supervised(StubPipeline(), analyses=["ok_fast"])
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.OK
+        assert outcome.value == {"answer": 42}
+        assert outcome.attempts == 1 and outcome.timeouts == 0
+
+    def test_large_value_does_not_deadlock_the_pipe(self):
+        policy, _ = no_sleep_policy(timeout=30.0)
+        report = run_supervised(StubPipeline(), analyses=["big_value"],
+                                policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.OK
+        assert len(outcome.value) == 200_000
+
+    def test_typed_failure_is_terminal_without_retry(self):
+        policy, slept = no_sleep_policy()
+        report = run_supervised(StubPipeline(), analyses=["typed_failure"],
+                                policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "AnalysisError"
+        assert outcome.attempts == 1
+        assert slept == []  # deterministic data problem: never retried
+
+    def test_untyped_bug_is_terminal_without_retry(self):
+        policy, slept = no_sleep_policy()
+        report = run_supervised(StubPipeline(), analyses=["buggy"],
+                                policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "RuntimeError"
+        assert outcome.attempts == 1 and slept == []
+
+    def test_degraded_inputs_propagate(self):
+        pipeline = StubPipeline()
+        pipeline.degraded_inputs = True
+        report = run_supervised(pipeline, analyses=["ok_fast"])
+        assert report.outcomes[0].status is AnalysisStatus.DEGRADED
+
+
+class TestRetries:
+    def test_transient_failure_exhausts_retry_budget(self):
+        policy, slept = no_sleep_policy(retry=RetryPolicy(max_retries=2),
+                                        seed=5)
+        report = run_supervised(StubPipeline(), analyses=["transient"],
+                                policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "OSError"
+        assert outcome.attempts == 3  # initial + max_retries
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy, slept = no_sleep_policy(retry=RetryPolicy(max_retries=2),
+                                        seed=5)
+        run_supervised(StubPipeline(), analyses=["transient"], policy=policy)
+        assert slept == RetryPolicy(max_retries=2).schedule(seed=5)
+
+    def test_killed_child_is_retried_then_failed(self):
+        policy, slept = no_sleep_policy(retry=RetryPolicy(max_retries=1))
+        report = run_supervised(StubPipeline(), analyses=["dies"],
+                                policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "ChildKilled"
+        assert outcome.attempts == 2
+        assert len(slept) == 1
+
+
+class TestTimeouts:
+    def test_hung_analysis_killed_retried_and_failed(self):
+        policy, slept = no_sleep_policy(timeout=0.3,
+                                        retry=RetryPolicy(max_retries=1))
+        telem = telemetry.Telemetry()
+        with telemetry.activate(telem):
+            report = run_supervised(StubPipeline(), analyses=["hangs"],
+                                    policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "AnalysisTimeout"
+        assert "timed out after 0.3s" in outcome.error
+        assert outcome.attempts == 2 and outcome.timeouts == 2
+        counters = report.telemetry["counters"]
+        assert counters["supervisor.timeouts{name=hangs}"] == 2
+        assert counters["supervisor.retries{name=hangs}"] == 1
+
+    def test_hung_analysis_does_not_take_down_the_rest(self):
+        policy, _ = no_sleep_policy(timeout=0.3,
+                                    retry=RetryPolicy(max_retries=0))
+        report = run_supervised(
+            StubPipeline(), analyses=["ok_fast", "hangs", "typed_failure"],
+            policy=policy)
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["ok_fast"].status is AnalysisStatus.OK
+        assert by_name["hangs"].status is AnalysisStatus.FAILED
+        assert by_name["typed_failure"].status is AnalysisStatus.FAILED
+        assert not report.ok
+
+
+class TestJournal:
+    def start_journal(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.start({"command": "analyze"})
+        return journal
+
+    def test_terminal_outcomes_are_committed(self, tmp_path):
+        journal = self.start_journal(tmp_path)
+        policy, _ = no_sleep_policy()
+        run_supervised(StubPipeline(), analyses=["ok_fast", "typed_failure"],
+                       policy=policy, journal=journal)
+        reloaded = CheckpointJournal.load(journal.path)
+        ok = reloaded.committed(ANALYSIS_KEY + "ok_fast")
+        failed = reloaded.committed(ANALYSIS_KEY + "typed_failure")
+        assert ok["status"] == "ok" and ok["attempts"] == 1
+        assert failed["status"] == "failed"
+        assert failed["error_type"] == "AnalysisError"
+
+    def test_resume_skips_journaled_analyses(self, tmp_path):
+        journal = self.start_journal(tmp_path)
+        run_supervised(StubPipeline(), analyses=["ok_fast"], journal=journal)
+        # a second run must reuse the journaled outcome, not re-execute:
+        # ``dies`` under the resumed name would SIGKILL the child
+        pipeline = StubPipeline()
+        pipeline.ok_fast = pipeline.dies
+        resumed = CheckpointJournal.load(journal.path)
+        report = run_supervised(pipeline, analyses=["ok_fast"],
+                                journal=resumed)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.OK
+        assert outcome.value is None  # values are not persisted
+
+    def test_strict_failure_raises_after_journaling(self, tmp_path):
+        journal = self.start_journal(tmp_path)
+        policy, _ = no_sleep_policy()
+        with pytest.raises(AnalysisError, match="typed_failure failed"):
+            run_supervised(StubPipeline(), analyses=["typed_failure"],
+                           policy=policy, journal=journal, strict=True)
+        reloaded = CheckpointJournal.load(journal.path)
+        assert reloaded.committed(ANALYSIS_KEY + "typed_failure") is not None

@@ -11,6 +11,7 @@ import pytest
 from repro.cli import (
     CONTROL_FILE,
     DATA_FILE,
+    EXIT_ALL_DEGRADED,
     EXIT_FAILURES,
     EXIT_OK,
     EXIT_UNREADABLE,
@@ -121,8 +122,9 @@ class TestAnalyzeErrorPaths:
         path.write_bytes(blob[: int(len(blob) * 0.6)])
         rc = main(["analyze", str(corpus_copy), "--host-min-days", "4"])
         out = capsys.readouterr().out
-        # the study completes, reporting degraded/failed per analysis
-        assert rc in (EXIT_OK, EXIT_FAILURES)
+        # the study completes, reporting degraded/failed per analysis;
+        # a run where everything degraded gets its own exit code
+        assert rc in (EXIT_OK, EXIT_FAILURES, EXIT_ALL_DEGRADED)
         assert "degraded" in out
 
     def test_corrupt_npz_strict_vs_lenient(self, corpus_copy, capsys):
@@ -195,7 +197,7 @@ class TestInjectCommand:
         capsys.readouterr()
         rc = main(["analyze", str(degraded), "--host-min-days", "4"])
         out = capsys.readouterr().out
-        assert rc in (EXIT_OK, EXIT_FAILURES)
+        assert rc in (EXIT_OK, EXIT_FAILURES, EXIT_ALL_DEGRADED)
         assert "ingest dropped" in out
 
 

@@ -3,12 +3,13 @@
 Six subcommands mirror the library's layering::
 
     python -m repro generate --scale 0.02 --days 30 --out corpus_dir
-                             [--resume] [--progress]
-    python -m repro validate corpus_dir [--json]
+                             [--resume] [--progress] [--jobs N]
+    python -m repro validate corpus_dir [--json] [--cache-dir DIR]
     python -m repro inject corpus_dir --out degraded_dir --fault drop:0.1
     python -m repro analyze corpus_dir [--strict | --lenient] [--json]
                                        [--supervised --timeout 300
                                         --retries 2] [--resume]
+                                       [--jobs N] [--cache-dir DIR]
                                        [--trace t.jsonl --metrics m.json]
     python -m repro summary --scale 0.01 --days 14 [--json]
     python -m repro report t.jsonl
@@ -29,6 +30,15 @@ finishes an interrupted run byte-identically.  ``analyze --supervised``
 (implied by ``--timeout`` or ``--resume``) runs each analysis in a child
 process with a wall-clock timeout and bounded retries; ``analyze
 --resume`` re-runs only analyses with no journaled terminal outcome.
+
+Parallelism: ``--jobs N`` fans work across N forked workers (0 = all
+CPUs) — day segments for ``generate``, supervised analyses for
+``analyze`` — with byte-identical results; ``--jobs 1`` (the default) is
+the serial reference path.  ``analyze --cache-dir DIR`` keeps a
+content-addressed result cache keyed on (corpus digest, config hash,
+analysis), so re-analyzing an unchanged corpus skips finished analyses;
+``validate`` fails a corpus whose cache holds results keyed to a
+different corpus digest.
 
 Observability: ``--trace`` writes the telemetry spans as JSONL,
 ``--metrics`` the final metrics snapshot as JSON, ``--progress`` streams
@@ -134,6 +144,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         with telemetry.activate(telem):
             report = checkpointed_generate(
                 config, args.out, resume=args.resume, run=manifest,
+                jobs=args.jobs,
                 extra_meta={"scale": args.scale, "duration_days": args.days,
                             "seed": args.seed})
     except CheckpointError as exc:
@@ -194,6 +205,27 @@ def _analyze_supervision(args: argparse.Namespace, path: Path):
     return policy, journal
 
 
+def _analyze_cache(args: argparse.Namespace, path: Path):
+    """The (cache, corpus digest) pair for ``analyze``.
+
+    An explicit ``--cache-dir`` always wins; a parallel run (``--jobs``
+    != 1) defaults to the corpus-local cache. Plain serial runs stay
+    cache-free.
+    """
+    from repro.parallel.cache import ResultCache, corpus_digest
+
+    if not args.cache_dir and args.jobs == 1:
+        return None, None
+    digest = corpus_digest(path)
+    if digest is None:
+        print(f"warning: {path}/{MANIFEST_FILE} missing or unusable; "
+              "result caching disabled for this run", file=sys.stderr)
+        return None, None
+    cache = (ResultCache(args.cache_dir) if args.cache_dir
+             else ResultCache.for_corpus(path))
+    return cache, digest
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     path = Path(args.corpus)
     rc = _check_corpus_files(path)
@@ -201,14 +233,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return rc
     policy = "strict" if args.strict else "skip"
     telem = _make_telemetry(args)
-    manifest = telemetry.run_manifest("analyze", corpus=str(path),
-                                      policy=policy)
+    manifest = telemetry.run_manifest(
+        "analyze", corpus=str(path), policy=policy,
+        config={"policy": policy, "host_min_days": args.host_min_days})
     started = time.perf_counter()
     try:
         supervisor, journal = _analyze_supervision(args, path)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    cache, corpus_digest = _analyze_cache(args, path)
     with telemetry.activate(telem):
         try:
             control = ControlPlaneCorpus.load_jsonl(path / CONTROL_FILE,
@@ -226,7 +260,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         try:
             report = pipeline.run_all(strict=args.strict,
                                       supervisor=supervisor,
-                                      checkpoint=journal)
+                                      checkpoint=journal,
+                                      jobs=args.jobs, cache=cache,
+                                      corpus_digest=corpus_digest,
+                                      config_hash=manifest["config_hash"])
         except ReproError as exc:
             _write_telemetry(telem, args, manifest, started)
             print(f"error: analysis failed (strict mode): "
@@ -267,7 +304,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if not path.is_dir():
         print(f"error: {path} is not a directory", file=sys.stderr)
         return EXIT_USAGE
-    report = validate_corpus(path)
+    report = validate_corpus(path, cache_dir=args.cache_dir or None)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -392,6 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--resume", action="store_true",
                      help="finish an interrupted run: skip segments already "
                           "committed to the checkpoint journal")
+    gen.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="fan day-segment writes across N forked workers "
+                          "(0 = all CPUs, default 1); output is "
+                          "byte-identical for every value")
     gen.add_argument("--progress", action="store_true",
                      help="print per-stage progress lines to stderr")
     gen.add_argument("-q", "--quiet", action="store_true",
@@ -419,6 +460,13 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--resume", action="store_true",
                      help="skip analyses with a journaled terminal outcome "
                           "(implies --supervised)")
+    ana.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="run up to N analyses concurrently in forked "
+                          "workers (0 = all CPUs, default 1 = the serial "
+                          "reference path)")
+    ana.add_argument("--cache-dir", metavar="DIR",
+                     help="content-addressed result cache: skip analyses "
+                          "already finished for this exact corpus + config")
     ana.add_argument("--json", action="store_true",
                      help="machine-readable study report on stdout")
     add_telemetry_flags(ana)
@@ -429,7 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("corpus", help="directory written by 'generate'")
     val.add_argument("--json", action="store_true",
                      help="machine-readable report on stdout")
-    val.set_defaults(func=_cmd_validate)
+    val.add_argument("--cache-dir", metavar="DIR",
+                     help="also check this analysis-result cache for "
+                          "entries keyed to a different corpus")
+    val.set_defaults(func=_cmd_validate, cache_dir=None)
 
     inj = sub.add_parser("inject",
                          help="write a deterministically-degraded copy of "

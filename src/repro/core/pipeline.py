@@ -183,7 +183,9 @@ class AnalysisPipeline:
 
     def run_all(self, strict: bool = True,
                 analyses: Sequence[str] | None = None,
-                supervisor=None, checkpoint=None) -> StudyReport:
+                supervisor=None, checkpoint=None, jobs: int = 1,
+                cache=None, corpus_digest=None,
+                config_hash=None) -> StudyReport:
         """Run every analysis of the study and report per-figure status.
 
         ``strict=True`` re-raises the first typed
@@ -202,7 +204,24 @@ class AnalysisPipeline:
         ``checkpoint`` (a :class:`~repro.runtime.checkpoint
         .CheckpointJournal`) additionally persists terminal outcomes so a
         resumed run re-executes only unfinished analyses.
+
+        ``jobs != 1`` delegates to the parallel scheduler
+        (:func:`~repro.parallel.scheduler.run_parallel`): up to ``jobs``
+        analyses run concurrently in forked workers (0 = all CPUs) with
+        the same supervision semantics; ``jobs=1`` is the serial
+        reference path the golden-equivalence suite compares against.
+        ``cache`` (a :class:`~repro.parallel.cache.ResultCache`, with the
+        corpus digest and config hash to key on) skips analyses whose
+        results are already cached for this exact corpus + config.
         """
+        if jobs != 1 or cache is not None:
+            from repro.parallel.scheduler import run_parallel
+
+            return run_parallel(self, analyses=analyses, policy=supervisor,
+                                jobs=jobs or None, strict=strict,
+                                journal=checkpoint, cache=cache,
+                                corpus_digest=corpus_digest,
+                                config_hash=config_hash)
         if supervisor is not None:
             from repro.runtime.supervisor import run_supervised
 
@@ -222,7 +241,7 @@ class AnalysisPipeline:
             with telem.span(f"analyze.{name}") as sp:
                 outcome = run_analysis(
                     name, getattr(self, name), strict=strict,
-                    degraded_inputs=degraded)
+                    degraded_inputs=degraded, fingerprint=True)
                 sp.attrs["status"] = outcome.status.value
             telem.histogram("pipeline.analysis_seconds",
                             name=name).observe(outcome.seconds)

@@ -43,6 +43,13 @@ class AnalysisOutcome:
     attempts: int = 1
     #: attempts killed at the supervisor's wall-clock timeout
     timeouts: int = 0
+    #: canonical SHA-256 of the value (:mod:`repro.parallel.golden`),
+    #: filled when fingerprinting was requested; survives even when the
+    #: value itself could not cross a worker's pickle pipe
+    value_digest: Optional[str] = None
+    #: True when this outcome was served from the content-addressed
+    #: result cache instead of being recomputed
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -127,11 +134,41 @@ class StudyReport:
                     "error_type": o.error_type,
                     "attempts": o.attempts,
                     "timeouts": o.timeouts,
+                    "value_digest": o.value_digest,
+                    "cached": o.cached,
                 }
                 for o in self.outcomes
             ],
             "telemetry": self.telemetry,
         }
+
+    def canonical_json(self) -> str:
+        """A byte-stable projection of the report for equivalence checks.
+
+        Everything execution-dependent — timings, attempt counts, cache
+        hits, telemetry — is stripped; what remains (statuses, warnings,
+        errors, value fingerprints) must be identical between a serial
+        run and any ``--jobs N`` run of the same corpus.  The golden
+        suite compares these strings byte for byte.
+        """
+        import json
+
+        payload = {
+            "ok": self.ok,
+            "all_degraded": self.all_degraded,
+            "warnings": list(self.warnings),
+            "analyses": [
+                {
+                    "name": o.name,
+                    "status": o.status.value,
+                    "error": o.error,
+                    "error_type": o.error_type,
+                    "value_digest": o.value_digest,
+                }
+                for o in self.outcomes
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def format(self) -> str:
         counts = self.counts()
@@ -154,12 +191,18 @@ class StudyReport:
 
 
 def run_analysis(name: str, fn, *, strict: bool,
-                 degraded_inputs: bool) -> AnalysisOutcome:
+                 degraded_inputs: bool,
+                 fingerprint: bool = False) -> AnalysisOutcome:
     """Execute one zero-arg analysis under the capture policy.
 
     Typed :class:`ReproError` failures are captured (or re-raised when
     ``strict``); anything else is a programming error and always
     propagates — graceful degradation must never paper over bugs.
+
+    ``fingerprint=True`` additionally stamps the outcome with the
+    canonical SHA-256 of the value (see :mod:`repro.parallel.golden`);
+    the parallel scheduler always requests this so equivalence against
+    the serial path stays checkable even for values that cannot pickle.
     """
     base = (AnalysisStatus.DEGRADED if degraded_inputs else AnalysisStatus.OK)
     start = _time.perf_counter()
@@ -172,5 +215,11 @@ def run_analysis(name: str, fn, *, strict: bool,
             name=name, status=AnalysisStatus.FAILED,
             error=str(exc), error_type=type(exc).__name__,
             seconds=_time.perf_counter() - start)
+    digest = None
+    if fingerprint:
+        from repro.parallel.golden import value_fingerprint
+
+        digest = value_fingerprint(value)
     return AnalysisOutcome(name=name, status=base, value=value,
-                           seconds=_time.perf_counter() - start)
+                           seconds=_time.perf_counter() - start,
+                           value_digest=digest)

@@ -197,14 +197,19 @@ def _find_gaps(times: np.ndarray,
 
 def validate_corpus(corpus_dir: str | Path, *,
                     min_gap: float = MIN_SUSPICIOUS_GAP,
-                    gap_factor: float = GAP_FACTOR) -> ValidationReport:
+                    gap_factor: float = GAP_FACTOR,
+                    cache_dir: Optional[str | Path] = None) -> ValidationReport:
     """Integrity-check a corpus directory without loading it strictly.
 
     Checks, in order: directory and required files exist; manifest
     checksums match; every record parses (lenient load, bad records
     counted as errors); timestamps are finite; record counts match the
-    manifest; and neither feed has gaps wildly out of scale with its own
-    cadence (reported as warnings — a quiet night is not corruption).
+    manifest; neither feed has gaps wildly out of scale with its own
+    cadence (reported as warnings — a quiet night is not corruption);
+    and no analysis-result cache (the corpus-local default, plus
+    ``cache_dir`` when given) holds entries keyed to a corpus digest the
+    current manifest no longer matches — serving those would silently
+    report another corpus's numbers.
     """
     from repro.corpus.control import ControlPlaneCorpus
     from repro.corpus.data import DataPlaneCorpus
@@ -323,4 +328,43 @@ def validate_corpus(corpus_dir: str | Path, *,
             report.warning("span-mismatch",
                            "control and data feeds do not overlap in time")
 
+    _check_result_caches(corpus_dir, report, cache_dir)
     return report
+
+
+def _check_result_caches(corpus_dir: Path, report: ValidationReport,
+                         cache_dir: Optional[str | Path]) -> None:
+    """Flag cached analysis results whose corpus digest no longer matches.
+
+    A stale entry means the corpus was regenerated (or edited) after the
+    result was cached; ``analyze`` would recompute on a key miss, but a
+    cache that *only* holds foreign digests is a deployment error worth
+    failing ``validate`` over — most likely a cache directory pointed at
+    the wrong corpus.
+    """
+    from repro.parallel.cache import (
+        DEFAULT_CACHE_DIRNAME,
+        ResultCache,
+        corpus_digest,
+    )
+
+    roots = []
+    if cache_dir is not None:
+        roots.append(Path(cache_dir))
+    default = corpus_dir / DEFAULT_CACHE_DIRNAME
+    if default.is_dir() and all(r.resolve() != default.resolve()
+                                for r in roots):
+        roots.append(default)
+    if not roots:
+        return
+    digest = corpus_digest(corpus_dir)
+    for root in roots:
+        cache = ResultCache(root)
+        for path, entry in cache.stale_entries(digest):
+            recorded = str(entry.get("corpus_digest"))[:12]
+            current = "absent" if digest is None else digest[:12]
+            report.error(
+                "stale-cache",
+                f"{root}: cached result for {entry.get('name')!r} is keyed "
+                f"to corpus digest {recorded}… but this corpus digests to "
+                f"{current}…; drop the cache or re-run analyze")

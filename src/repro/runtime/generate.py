@@ -22,13 +22,23 @@ Resume semantics (``repro generate --resume``):
 Because segments are contiguous time slices of the sorted corpora,
 concatenating them reproduces exactly the bytes an uninterrupted run
 writes — the chaos tests assert the checksums match.
+
+With ``jobs > 1`` the day segments are fanned across forked workers.
+Workers only *write* (atomically, under unique temp names); every
+journal commit stays in the parent — a single journal writer keeps the
+append-only file coherent and keeps the chaos hook (which fires inside
+``commit``) meaningful.  Segment bytes are deterministic regardless of
+worker count, and ``--resume`` semantics are unchanged: a parallel run
+can resume a serial one and vice versa.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import shutil
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -47,6 +57,7 @@ from repro.corpus.manifest import (
 from repro.errors import CheckpointError
 from repro.runtime.atomic import atomic_writer, remove_stale_tmp
 from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.supervisor import _fork_context
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.runner import ScenarioResult, run_scenario
 
@@ -109,12 +120,15 @@ def checkpointed_generate(
     resume: bool = False,
     run: Optional[dict] = None,
     extra_meta: Optional[dict] = None,
+    jobs: int = 1,
 ) -> GenerateReport:
     """Generate (or finish generating) a corpus directory crash-safely.
 
     ``run`` is the telemetry run manifest embedded into
     ``manifest.json``; ``extra_meta`` is merged into ``platform.json``
-    (the CLI records scale/days/seed there).
+    (the CLI records scale/days/seed there).  ``jobs`` fans the segment
+    writes across that many forked workers (0 = all CPUs); the output
+    bytes are identical for every value.
     """
     from time import perf_counter
 
@@ -150,8 +164,10 @@ def checkpointed_generate(
     result = run_scenario(config)
 
     with telem.span("generate.write", out=str(out)):
-        with telem.span("generate.segments", days=result.day_count):
-            segments = _write_segments(result, seg_dir, journal, report)
+        with telem.span("generate.segments", days=result.day_count,
+                        jobs=jobs):
+            segments = _write_segments(result, seg_dir, journal, report,
+                                       jobs=jobs)
         if run is not None:
             # stamp the elapsed wall time into the embedded provenance
             # record before it is checksummed into the manifest
@@ -166,10 +182,12 @@ def checkpointed_generate(
 
 def _write_segments(result: ScenarioResult, seg_dir: Path,
                     journal: CheckpointJournal,
-                    report: GenerateReport) -> Dict[str, List[Path]]:
+                    report: GenerateReport,
+                    jobs: int = 1) -> Dict[str, List[Path]]:
     """Write every day slice of both corpora, skipping committed ones."""
     telem = telemetry.current()
     paths: Dict[str, List[Path]] = {"control": [], "data": []}
+    pending: List[tuple] = []
     control_slices = result.control_day_slices()
     data_slices = result.data_day_slices()
     for plane, slices in (("control", control_slices), ("data", data_slices)):
@@ -184,21 +202,105 @@ def _write_segments(result: ScenarioResult, seg_dir: Path,
                 telem.counter("runtime.segments", plane=plane,
                               outcome="skipped").inc()
                 continue
-            if plane == "control":
-                with atomic_writer(path) as fh:
-                    for msg in chunk:
-                        fh.write(json.dumps(update_to_json(msg)) + "\n")
-            else:
-                with atomic_writer(path, mode="wb") as fh:
-                    np.savez_compressed(fh, packets=chunk)
-            journal.commit(_segment_key(plane, day),
-                           sha256=file_sha256(path),
-                           bytes=path.stat().st_size,
-                           records=len(chunk))
-            report.segments_written += 1
-            telem.counter("runtime.segments", plane=plane,
-                          outcome="written").inc()
+            pending.append((plane, day, chunk))
+
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and len(pending) > 1:
+        ctx = _fork_context()
+        if ctx is not None:
+            _write_pending_parallel(pending, seg_dir, journal, report,
+                                    min(jobs, len(pending)), ctx, telem)
+            return paths
+
+    for plane, day, chunk in pending:
+        path = _write_segment_file(seg_dir, plane, day, chunk)
+        journal.commit(_segment_key(plane, day),
+                       sha256=file_sha256(path),
+                       bytes=path.stat().st_size,
+                       records=len(chunk))
+        report.segments_written += 1
+        telem.counter("runtime.segments", plane=plane,
+                      outcome="written").inc()
     return paths
+
+
+def _write_segment_file(seg_dir: Path, plane: str, day: int, chunk) -> Path:
+    """Atomically write one day segment; identical bytes on every path."""
+    path = seg_dir / _segment_name(plane, day)
+    if plane == "control":
+        with atomic_writer(path) as fh:
+            for msg in chunk:
+                fh.write(json.dumps(update_to_json(msg)) + "\n")
+    else:
+        with atomic_writer(path, mode="wb") as fh:
+            np.savez_compressed(fh, packets=chunk)
+    return path
+
+
+def _segment_worker(conn, tasks, seg_dir: Path) -> None:
+    """Child: write a shard of segments, reporting each over the pipe.
+
+    Workers never touch the journal — the parent is the single journal
+    writer.  Temp names from ``atomic_writer`` are ``mkstemp``-unique, so
+    concurrent workers (or an orphan surviving a killed parent) cannot
+    collide; only the atomic rename publishes a segment.
+    """
+    try:
+        for plane, day, chunk in tasks:
+            path = _write_segment_file(seg_dir, plane, day, chunk)
+            conn.send({"key": _segment_key(plane, day), "plane": plane,
+                       "sha256": file_sha256(path),
+                       "bytes": path.stat().st_size,
+                       "records": len(chunk)})
+    finally:
+        conn.close()
+
+
+def _write_pending_parallel(pending, seg_dir: Path,
+                            journal: CheckpointJournal,
+                            report: GenerateReport, jobs: int, ctx,
+                            telem) -> None:
+    """Fan pending segments round-robin across ``jobs`` forked workers."""
+    conns = {}
+    procs = []
+    for i in range(jobs):
+        shard = pending[i::jobs]
+        if not shard:
+            continue
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_segment_worker,
+                           args=(child_conn, shard, seg_dir), daemon=True)
+        proc.start()
+        child_conn.close()
+        conns[parent_conn] = proc
+        procs.append(proc)
+    telem.gauge("runtime.segment_workers").set(len(procs))
+    try:
+        while conns:
+            for conn in _wait_connections(list(conns)):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    proc = conns.pop(conn)
+                    conn.close()
+                    proc.join()
+                    if proc.exitcode:
+                        raise CheckpointError(
+                            "segment worker died with exit code "
+                            f"{proc.exitcode}; re-run with --resume")
+                    continue
+                journal.commit(msg["key"], sha256=msg["sha256"],
+                               bytes=msg["bytes"], records=msg["records"])
+                report.segments_written += 1
+                telem.counter("runtime.segments", plane=msg["plane"],
+                              outcome="written").inc()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        telem.gauge("runtime.segment_workers").set(0)
 
 
 def _finalize(result: ScenarioResult, out: Path, seg_dir: Path,

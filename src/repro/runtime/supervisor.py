@@ -80,12 +80,15 @@ class _Attempt:
     seconds: float = 0.0
 
 
-def _child_main(conn, name: str, fn, degraded: bool) -> None:
+def _child_main(conn, name: str, fn, degraded: bool,
+                fingerprint: bool = False) -> None:
     hang = chaos.injected_hang(name)
     if hang:
         time.sleep(hang)
     try:
-        outcome = run_analysis(name, fn, strict=False, degraded_inputs=degraded)
+        outcome = run_analysis(name, fn, strict=False,
+                               degraded_inputs=degraded,
+                               fingerprint=fingerprint)
     except BaseException as exc:  # untyped: a bug or an OS-level failure
         conn.send({"kind": "raised", "error": str(exc),
                    "error_type": type(exc).__name__,
@@ -95,11 +98,12 @@ def _child_main(conn, name: str, fn, degraded: bool) -> None:
         conn.send({"kind": "outcome", "outcome": outcome})
     except Exception:
         # the analysis value would not pickle across the pipe; keep the
-        # status/timing and drop the value rather than failing the run
+        # status/timing (and the fingerprint, computed before the send)
+        # and drop the value rather than failing the run
         conn.send({"kind": "outcome", "outcome": AnalysisOutcome(
             name=outcome.name, status=outcome.status, value=None,
             error=outcome.error, error_type=outcome.error_type,
-            seconds=outcome.seconds)})
+            seconds=outcome.seconds, value_digest=outcome.value_digest)})
 
 
 def _fork_context():
@@ -116,7 +120,8 @@ def _run_attempt(name: str, fn, degraded: bool,
     if ctx is None:  # pragma: no cover - non-POSIX fallback
         return _run_attempt_inline(name, fn, degraded)
     parent_conn, child_conn = ctx.Pipe(duplex=False)
-    proc = ctx.Process(target=_child_main, args=(child_conn, name, fn, degraded),
+    proc = ctx.Process(target=_child_main,
+                       args=(child_conn, name, fn, degraded, True),
                        daemon=True)
     start = perf_counter()
     proc.start()
@@ -166,7 +171,8 @@ def _run_attempt_inline(name: str, fn, degraded: bool) -> _Attempt:
     """Fallback without process isolation (no fork): retries only."""
     start = perf_counter()
     try:
-        outcome = run_analysis(name, fn, strict=False, degraded_inputs=degraded)
+        outcome = run_analysis(name, fn, strict=False,
+                               degraded_inputs=degraded, fingerprint=True)
     except BaseException as exc:
         return _Attempt(event="raised", error=str(exc),
                         error_type=type(exc).__name__,
@@ -185,7 +191,31 @@ def _outcome_from_entry(entry: dict) -> AnalysisOutcome:
         seconds=float(entry.get("seconds", 0.0)),
         attempts=int(entry.get("attempts", 1)),
         timeouts=int(entry.get("timeouts", 0)),
+        value_digest=entry.get("value_digest"),
     )
+
+
+def ingest_warnings(pipeline) -> list:
+    """The per-corpus ingest-loss warnings a study report carries."""
+    warnings = []
+    for corpus_name in ("control", "data"):
+        ingest = getattr(getattr(pipeline, corpus_name, None),
+                         "ingest_report", None)
+        if ingest is not None and not ingest.ok:
+            warnings.append(
+                f"{corpus_name} ingest dropped {ingest.skipped} of "
+                f"{ingest.total} records")
+    return warnings
+
+
+def journal_outcome(journal: CheckpointJournal,
+                    outcome: AnalysisOutcome) -> None:
+    """Commit one terminal outcome under its analysis key."""
+    journal.commit(ANALYSIS_KEY + outcome.name, name=outcome.name,
+                   status=outcome.status.value, error=outcome.error,
+                   error_type=outcome.error_type, seconds=outcome.seconds,
+                   attempts=outcome.attempts, timeouts=outcome.timeouts,
+                   value_digest=outcome.value_digest)
 
 
 def run_supervised(
@@ -212,13 +242,7 @@ def run_supervised(
     rng = random.Random(policy.seed)
     report = StudyReport()
     degraded = pipeline.degraded_inputs
-    for corpus_name in ("control", "data"):
-        ingest = getattr(getattr(pipeline, corpus_name, None),
-                         "ingest_report", None)
-        if ingest is not None and not ingest.ok:
-            report.warnings.append(
-                f"{corpus_name} ingest dropped {ingest.skipped} of "
-                f"{ingest.total} records")
+    report.warnings.extend(ingest_warnings(pipeline))
 
     with telem.span("analyze.warm_caches"):
         warm = getattr(pipeline, "warm_shared_caches", None)
@@ -240,10 +264,7 @@ def run_supervised(
         telem.histogram("pipeline.analysis_seconds",
                         name=name).observe(outcome.seconds)
         if journal is not None:
-            journal.commit(key, name=name, status=outcome.status.value,
-                           error=outcome.error, error_type=outcome.error_type,
-                           seconds=outcome.seconds, attempts=outcome.attempts,
-                           timeouts=outcome.timeouts)
+            journal_outcome(journal, outcome)
         if strict and outcome.status is AnalysisStatus.FAILED:
             raise AnalysisError(
                 f"{name} failed under supervision after {outcome.attempts} "

@@ -78,3 +78,53 @@ class TestSweepConsistency:
             return
         for event in extract_events(corpus, delta=600.0):
             assert event.active_time <= event.duration + 1e-9
+
+
+class TestDeltaInvariants:
+    """The Δ-merge contract the parallel golden fixtures rely on."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(corpora(), st.floats(0.0, 10_000.0))
+    def test_events_disjoint_by_more_than_delta(self, corpus, delta):
+        """Consecutive events of one prefix are separated by > Δ — a gap
+        of at most Δ would have been merged into one event."""
+        if len(corpus) == 0:
+            return
+        by_prefix = {}
+        for event in extract_events(corpus, delta=delta):
+            by_prefix.setdefault(event.prefix, []).append(event)
+        for events in by_prefix.values():
+            for a, b in zip(events, events[1:]):
+                assert b.start - a.end > delta
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpora(), st.randoms(use_true_random=False),
+           st.floats(0.0, 5_000.0))
+    def test_extraction_is_message_order_independent(self, corpus, rng,
+                                                     delta):
+        """Shuffling the ingest order cannot change the events: the
+        corpus sorts by time, and same-prefix messages never share a
+        timestamp (each window draw advances the clock)."""
+        if len(corpus) == 0:
+            return
+        shuffled = list(corpus)
+        rng.shuffle(shuffled)
+        reordered = ControlPlaneCorpus(shuffled)
+
+        def signature(events):
+            return sorted((str(e.prefix), e.start, e.end, e.num_windows)
+                          for e in events)
+
+        assert signature(extract_events(reordered, delta=delta)) \
+            == signature(extract_events(corpus, delta=delta))
+
+    @settings(max_examples=40, deadline=None)
+    @given(corpora(), st.floats(0.0, 5_000.0))
+    def test_sweep_fraction_monotone_in_delta(self, corpus, delta):
+        """The full sweep curve never increases with Δ (merging only
+        ever reduces the event count)."""
+        if len(corpus) == 0:
+            return
+        deltas, fraction = merge_threshold_sweep(
+            corpus, deltas=[0.0, delta, delta + 1.0, 2 * delta + 2.0])
+        assert all(a >= b - 1e-12 for a, b in zip(fraction, fraction[1:]))

@@ -1,0 +1,110 @@
+"""Property-based tests of the radix trie: longest-prefix matching must
+agree with a brute-force oracle over the same route table, for any table
+and any probe address."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import IPv4Address, IPv4Prefix
+from repro.net.radix import RadixTree
+
+prefixes = st.builds(
+    IPv4Prefix,
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 32),
+)
+addresses = st.integers(0, 2**32 - 1)
+tables = st.lists(prefixes, max_size=40)
+
+
+def brute_force_lpm(routes, address):
+    """The obviously-correct LPM: scan every route, keep the longest."""
+    best = None
+    for prefix in routes:
+        if prefix.contains(IPv4Address(address)):
+            if best is None or prefix.length > best.length:
+                best = prefix
+    return best
+
+
+def build(routes):
+    tree = RadixTree()
+    for i, prefix in enumerate(routes):
+        tree.insert(prefix, i)
+    return tree
+
+
+class TestLookupOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(tables, addresses)
+    def test_lookup_matches_brute_force(self, routes, address):
+        tree = build(routes)
+        expected = brute_force_lpm(routes, address)
+        got = tree.lookup(address)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            prefix, _ = got
+            assert prefix.length == expected.length
+            assert prefix.network_int == expected.network_int
+
+    @settings(max_examples=150, deadline=None)
+    @given(tables, addresses)
+    def test_lookup_all_is_every_cover_most_specific_last(self, routes,
+                                                          address):
+        tree = build(routes)
+        covers = sorted({p.length for p in routes
+                         if p.contains(IPv4Address(address))})
+        found = tree.lookup_all(address)
+        assert [p.length for p, _ in found] == covers
+        if found:
+            assert found[-1][0].length == tree.lookup(address)[0].length
+
+    @settings(max_examples=150, deadline=None)
+    @given(tables, addresses)
+    def test_removal_falls_back_to_next_best(self, routes, address):
+        tree = build(routes)
+        got = tree.lookup(address)
+        if got is None:
+            return
+        best, _ = got
+        assert tree.remove(best)
+        remaining = [p for p in routes
+                     if (p.network_int, p.length)
+                     != (best.network_int, best.length)]
+        expected = brute_force_lpm(remaining, address)
+        fallback = tree.lookup(address)
+        if expected is None:
+            assert fallback is None
+        else:
+            assert fallback is not None
+            assert fallback[0].length == expected.length
+
+    @settings(max_examples=100, deadline=None)
+    @given(tables)
+    def test_size_and_items_match_the_route_set(self, routes):
+        tree = build(routes)
+        unique = {(p.network_int, p.length) for p in routes}
+        assert len(tree) == len(unique)
+        assert {(p.network_int, p.length) for p, _ in tree.items()} == unique
+
+    @settings(max_examples=100, deadline=None)
+    @given(tables)
+    def test_insert_then_remove_everything_empties_the_tree(self, routes):
+        tree = build(routes)
+        for prefix in routes:
+            tree.remove(prefix)
+        assert len(tree) == 0
+        assert tree.lookup(0) is None
+        assert list(tree.items()) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(tables, prefixes)
+    def test_exact_match_agrees_with_membership(self, routes, probe):
+        tree = build(routes)
+        stored = {(p.network_int, p.length) for p in routes}
+        key = (probe.network_int, probe.length)
+        assert (probe in tree) == (key in stored)
+        if key not in stored:
+            assert tree.get(probe) is None

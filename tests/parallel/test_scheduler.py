@@ -1,0 +1,274 @@
+"""Tests for the parallel analysis scheduler against a stub pipeline:
+concurrent dispatch, deterministic merging, retry/timeout parity with
+the serial supervisor, journal resume, and strict-stop semantics."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.core.study import AnalysisStatus
+from repro.errors import AnalysisError, SupervisorError
+from repro.parallel.cache import ResultCache
+from repro.parallel.scheduler import resolve_jobs, run_parallel, schedule_order
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.supervisor import ANALYSIS_KEY, SupervisorPolicy
+
+
+class StubPipeline:
+    """Just enough surface for the scheduler: analysis methods,
+    ``degraded_inputs``, and (absent) corpora."""
+
+    degraded_inputs = False
+
+    def ok_fast(self):
+        return {"answer": 42}
+
+    def ok_other(self):
+        return [1.5, 2.5]
+
+    def slow_ok(self):
+        time.sleep(0.3)
+        return "slow"
+
+    def typed_failure(self):
+        raise AnalysisError("insufficient data")
+
+    def transient(self):
+        raise OSError("transient I/O failure")
+
+    def hangs(self):
+        time.sleep(60)
+        return "never"
+
+    def dies(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def big_value(self):
+        return list(range(200_000))
+
+
+def no_sleep_policy(**kwargs):
+    slept = []
+    policy = SupervisorPolicy(sleep=slept.append, **kwargs)
+    return policy, slept
+
+
+class TestSchedulerBasics:
+    def test_outcomes_merge_in_request_order(self):
+        # slow_ok finishes last but must still come back first
+        names = ["slow_ok", "ok_fast", "ok_other"]
+        report = run_parallel(StubPipeline(), analyses=names, jobs=3)
+        assert [o.name for o in report.outcomes] == names
+        assert all(o.status is AnalysisStatus.OK for o in report.outcomes)
+
+    def test_values_and_fingerprints_cross_the_pipe(self):
+        report = run_parallel(StubPipeline(), analyses=["ok_fast", "big_value"],
+                              jobs=2)
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["ok_fast"].value == {"answer": 42}
+        assert len(by_name["big_value"].value) == 200_000
+        assert all(o.value_digest for o in report.outcomes)
+
+    def test_jobs_one_matches_many(self):
+        names = ["ok_fast", "ok_other", "typed_failure"]
+        policy, _ = no_sleep_policy(retry=RetryPolicy(max_retries=0))
+        serial = run_parallel(StubPipeline(), analyses=names, jobs=1,
+                              policy=policy)
+        wide = run_parallel(StubPipeline(), analyses=names, jobs=8,
+                            policy=policy)
+        assert serial.canonical_json() == wide.canonical_json()
+
+    def test_degraded_inputs_propagate(self):
+        pipeline = StubPipeline()
+        pipeline.degraded_inputs = True
+        report = run_parallel(pipeline, analyses=["ok_fast"], jobs=2)
+        assert report.outcomes[0].status is AnalysisStatus.DEGRADED
+
+    def test_failure_does_not_take_down_the_rest(self):
+        policy, _ = no_sleep_policy(timeout=0.3,
+                                    retry=RetryPolicy(max_retries=0))
+        report = run_parallel(
+            StubPipeline(), analyses=["ok_fast", "hangs", "typed_failure"],
+            jobs=3, policy=policy)
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["ok_fast"].status is AnalysisStatus.OK
+        assert by_name["hangs"].error_type == "AnalysisTimeout"
+        assert by_name["typed_failure"].error_type == "AnalysisError"
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SupervisorError, match="jobs"):
+            run_parallel(StubPipeline(), analyses=["ok_fast"], jobs=-2)
+
+    def test_resolve_jobs_zero_means_all_cpus(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(3) == 3
+
+
+class TestRetryParity:
+    def test_transient_failure_exhausts_retry_budget(self):
+        policy, _ = no_sleep_policy(retry=RetryPolicy(max_retries=2), seed=5)
+        report = run_parallel(StubPipeline(), analyses=["transient"],
+                              jobs=2, policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "OSError"
+        assert outcome.attempts == 3
+
+    def test_killed_child_is_retried_then_failed(self):
+        policy, _ = no_sleep_policy(retry=RetryPolicy(max_retries=1))
+        report = run_parallel(StubPipeline(), analyses=["dies"],
+                              jobs=2, policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.FAILED
+        assert outcome.error_type == "ChildKilled"
+        assert outcome.attempts == 2
+
+    def test_timeout_counters_recorded(self):
+        policy, _ = no_sleep_policy(timeout=0.3,
+                                    retry=RetryPolicy(max_retries=1))
+        telem = telemetry.Telemetry()
+        with telemetry.activate(telem):
+            report = run_parallel(StubPipeline(), analyses=["hangs"],
+                                  jobs=2, policy=policy)
+        (outcome,) = report.outcomes
+        assert outcome.error_type == "AnalysisTimeout"
+        assert outcome.attempts == 2 and outcome.timeouts == 2
+        counters = report.telemetry["counters"]
+        assert counters["supervisor.timeouts{name=hangs}"] == 2
+        assert counters["supervisor.retries{name=hangs}"] == 1
+        assert counters["parallel.dispatched{name=hangs}"] == 2
+
+
+class TestJournal:
+    def start_journal(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.start({"command": "analyze"})
+        return journal
+
+    def test_terminal_outcomes_are_committed_with_digests(self, tmp_path):
+        journal = self.start_journal(tmp_path)
+        policy, _ = no_sleep_policy()
+        run_parallel(StubPipeline(), analyses=["ok_fast", "typed_failure"],
+                     jobs=2, policy=policy, journal=journal)
+        reloaded = CheckpointJournal.load(journal.path)
+        ok = reloaded.committed(ANALYSIS_KEY + "ok_fast")
+        failed = reloaded.committed(ANALYSIS_KEY + "typed_failure")
+        assert ok["status"] == "ok" and ok["value_digest"]
+        assert failed["status"] == "failed"
+        assert failed["error_type"] == "AnalysisError"
+
+    def test_resume_skips_journaled_analyses(self, tmp_path):
+        journal = self.start_journal(tmp_path)
+        run_parallel(StubPipeline(), analyses=["ok_fast"], jobs=2,
+                     journal=journal)
+        pipeline = StubPipeline()
+        pipeline.ok_fast = pipeline.dies  # re-running would SIGKILL
+        resumed = CheckpointJournal.load(journal.path)
+        report = run_parallel(pipeline, analyses=["ok_fast"], jobs=2,
+                              journal=resumed)
+        (outcome,) = report.outcomes
+        assert outcome.status is AnalysisStatus.OK
+        assert outcome.value is None  # values are not persisted
+
+    def test_serial_journal_resumes_in_parallel(self, tmp_path):
+        from repro.runtime.supervisor import run_supervised
+
+        journal = self.start_journal(tmp_path)
+        policy, _ = no_sleep_policy()
+        run_supervised(StubPipeline(), analyses=["ok_fast"], policy=policy,
+                       journal=journal)
+        pipeline = StubPipeline()
+        pipeline.ok_fast = pipeline.dies
+        resumed = CheckpointJournal.load(journal.path)
+        report = run_parallel(pipeline, analyses=["ok_fast"], jobs=4,
+                              journal=resumed)
+        assert report.outcomes[0].status is AnalysisStatus.OK
+
+
+class TestStrict:
+    def test_strict_failure_raises_after_journaling(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.start({"command": "analyze"})
+        policy, _ = no_sleep_policy()
+        with pytest.raises(AnalysisError, match="typed_failure failed"):
+            run_parallel(StubPipeline(), analyses=["typed_failure"],
+                         jobs=2, policy=policy, journal=journal, strict=True)
+        reloaded = CheckpointJournal.load(journal.path)
+        assert reloaded.committed(ANALYSIS_KEY + "typed_failure") is not None
+
+    def test_strict_stop_leaves_undispatched_unjournaled(self, tmp_path):
+        # jobs=1 serialises dispatch: the failure lands before the queue
+        # drains, and everything not yet dispatched is left for --resume
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.start({"command": "analyze"})
+        policy, _ = no_sleep_policy(retry=RetryPolicy(max_retries=0))
+        with pytest.raises(AnalysisError):
+            run_parallel(StubPipeline(),
+                         analyses=["typed_failure", "slow_ok"],
+                         jobs=1, policy=policy, journal=journal, strict=True)
+        reloaded = CheckpointJournal.load(journal.path)
+        assert reloaded.committed(ANALYSIS_KEY + "typed_failure") is not None
+        assert reloaded.committed(ANALYSIS_KEY + "slow_ok") is None
+
+
+class TestCacheIntegration:
+    def test_cache_hit_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        policy, _ = no_sleep_policy()
+        first = run_parallel(StubPipeline(), analyses=["ok_fast"], jobs=2,
+                             policy=policy, cache=cache,
+                             corpus_digest="c0ffee", config_hash="cfg")
+        pipeline = StubPipeline()
+        pipeline.ok_fast = pipeline.dies  # a real re-run would SIGKILL
+        second = run_parallel(pipeline, analyses=["ok_fast"], jobs=2,
+                              policy=policy, cache=cache,
+                              corpus_digest="c0ffee", config_hash="cfg")
+        assert second.outcomes[0].cached
+        assert second.outcomes[0].status is AnalysisStatus.OK
+        assert second.outcomes[0].value_digest == \
+            first.outcomes[0].value_digest
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_different_corpus_digest_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        policy, _ = no_sleep_policy()
+        run_parallel(StubPipeline(), analyses=["ok_fast"], jobs=2,
+                     policy=policy, cache=cache,
+                     corpus_digest="c0ffee", config_hash="cfg")
+        report = run_parallel(StubPipeline(), analyses=["ok_fast"], jobs=2,
+                              policy=policy, cache=cache,
+                              corpus_digest="0ther", config_hash="cfg")
+        assert not report.outcomes[0].cached
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        policy, _ = no_sleep_policy(retry=RetryPolicy(max_retries=0))
+        run_parallel(StubPipeline(), analyses=["typed_failure"], jobs=2,
+                     policy=policy, cache=cache,
+                     corpus_digest="c0ffee", config_hash="cfg")
+        report = run_parallel(StubPipeline(), analyses=["typed_failure"],
+                              jobs=2, policy=policy, cache=cache,
+                              corpus_digest="c0ffee", config_hash="cfg")
+        assert not report.outcomes[0].cached  # recomputed, not served
+
+
+class TestScheduleOrder:
+    def test_is_a_permutation_and_deterministic(self):
+        from repro.core.pipeline import ANALYSIS_NAMES
+
+        order = schedule_order(ANALYSIS_NAMES)
+        assert sorted(order) == sorted(ANALYSIS_NAMES)
+        assert order == schedule_order(ANALYSIS_NAMES)
+
+    def test_providers_precede_their_dependents(self):
+        from repro.core.pipeline import ANALYSIS_NAMES
+
+        order = schedule_order(ANALYSIS_NAMES)
+        assert order.index("fig7_top_sources") < order.index("fig8_org_types")
+        assert order.index("sec54_protocol_mix") < \
+            order.index("table3_amplification")

@@ -112,6 +112,66 @@ class TestAnalyzeKillAndResume:
         assert status_map(report) == status_map(baseline["report"])
 
 
+class TestParallelGenerateKillAndResume:
+    """SIGKILL mid ``generate --jobs 4``: the journal (parent-only
+    writes) plus atomic segments must let any resume — parallel or
+    serial — converge on the uninterrupted corpus."""
+
+    @pytest.mark.parametrize("kill_at", [
+        "commit:segment:control:000",
+        "commit:segment:data:002",
+    ])
+    def test_parallel_resume_reproduces_identical_corpus(self, tmp_path,
+                                                         baseline, kill_at):
+        out = tmp_path / "corpus"
+        killed = run_cli([*GENERATE, "--out", str(out), "--jobs", "4"],
+                         chaos={KILL_ENV: kill_at})
+        assert killed.returncode == -signal.SIGKILL
+        resumed = run_cli([*GENERATE, "--out", str(out), "--resume",
+                           "--jobs", "4"])
+        assert resumed.returncode == EXIT_OK, resumed.stderr
+        assert manifest_files(out) == baseline["files"]
+
+    def test_serial_resume_finishes_a_killed_parallel_run(self, tmp_path,
+                                                          baseline):
+        # jobs is an execution knob, not corpus state: a serial resume
+        # must be able to finish a parallel run's journal
+        out = tmp_path / "corpus"
+        killed = run_cli([*GENERATE, "--out", str(out), "--jobs", "4"],
+                         chaos={KILL_ENV: "commit:segment:data:001"})
+        assert killed.returncode == -signal.SIGKILL
+        resumed = run_cli([*GENERATE, "--out", str(out), "--resume"])
+        assert resumed.returncode == EXIT_OK, resumed.stderr
+        assert manifest_files(out) == baseline["files"]
+
+
+class TestParallelAnalyzeKillAndResume:
+    def test_parallel_resume_converges_to_baseline(self, corpus_copy,
+                                                   baseline):
+        """SIGKILL while four analysis workers are in flight, then
+        resume with ``--jobs 4``: statuses *and* value fingerprints must
+        match the uninterrupted serial baseline."""
+        killed = run_cli([*ANALYZE, str(corpus_copy), "--supervised",
+                          "--jobs", "4", "--json"],
+                         chaos={KILL_ENV: "commit:analysis:fig2_time_offset"})
+        assert killed.returncode == -signal.SIGKILL
+        # the killed commit itself was durably journaled first
+        journal = (corpus_copy / ANALYZE_JOURNAL_FILE).read_text()
+        assert "analysis:fig2_time_offset" in journal
+
+        resumed = run_cli([*ANALYZE, str(corpus_copy), "--resume",
+                           "--jobs", "4", "--json"])
+        assert resumed.returncode == EXIT_OK, resumed.stderr
+        report = json.loads(resumed.stdout)
+        assert report["ok"] and not report["all_degraded"]
+        assert status_map(report) == status_map(baseline["report"])
+        digests = {a["name"]: a["value_digest"] for a in report["analyses"]}
+        baseline_digests = {a["name"]: a["value_digest"]
+                            for a in baseline["report"]["analyses"]}
+        assert digests == baseline_digests
+        assert all(digests.values())
+
+
 class TestHangIsolation:
     def test_hung_analysis_is_killed_retried_and_reported(self, corpus_copy,
                                                           tmp_path):

@@ -13,7 +13,16 @@ The package has three layers:
 3. **Analysis** (:mod:`repro.core`, :mod:`repro.stats`) — the paper's
    measurement pipeline, reproducing every figure and table.
 
-Quickstart::
+Most callers only need the facade (see :mod:`repro.api`)::
+
+    from repro import Study, GenerateOptions
+
+    study = Study.generate("corpus/", options=GenerateOptions(
+        scale=0.02, duration_days=5))
+    report = study.analyze()
+    print(report.format())
+
+The layers underneath stay importable for fine-grained work::
 
     from repro import ScenarioConfig, run_scenario, AnalysisPipeline
 
@@ -21,10 +30,17 @@ Quickstart::
     pipeline = AnalysisPipeline(result.control, result.data,
                                 peer_asns=result.ixp.member_asns,
                                 peeringdb=result.ixp.peeringdb)
-    print(pipeline.table2_pre_classes())
+    print(pipeline.run("table2_pre_classes"))
 """
 
+from repro.api import (
+    AnalyzeOptions,
+    GenerateOptions,
+    StreamOptions,
+    Study,
+)
 from repro.core.pipeline import AnalysisPipeline
+from repro.core.registry import ANALYSES, AnalysisSpec, get_analysis
 from repro.core.study import AnalysisStatus, StudyReport
 from repro.corpus import (
     ControlPlaneCorpus,
@@ -32,18 +48,27 @@ from repro.corpus import (
     validate_corpus,
     write_manifest,
 )
+from repro.corpus.ingest import ErrorPolicy
 from repro.scenario import ScenarioConfig, ScenarioResult, run_scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ANALYSES",
     "AnalysisPipeline",
+    "AnalysisSpec",
     "AnalysisStatus",
+    "AnalyzeOptions",
     "ControlPlaneCorpus",
     "DataPlaneCorpus",
+    "ErrorPolicy",
+    "GenerateOptions",
     "ScenarioConfig",
     "ScenarioResult",
+    "StreamOptions",
+    "Study",
     "StudyReport",
+    "get_analysis",
     "run_scenario",
     "validate_corpus",
     "write_manifest",

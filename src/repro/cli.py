@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Six subcommands mirror the library's layering::
+Eight subcommands mirror the library's layering::
 
     python -m repro generate --scale 0.02 --days 30 --out corpus_dir
                              [--resume] [--progress] [--jobs N]
+                             [--keep-segments]
     python -m repro validate corpus_dir [--json] [--cache-dir DIR]
     python -m repro inject corpus_dir --out degraded_dir --fault drop:0.1
     python -m repro analyze corpus_dir [--strict | --lenient] [--json]
@@ -11,6 +12,10 @@ Six subcommands mirror the library's layering::
                                         --retries 2] [--resume]
                                        [--jobs N] [--cache-dir DIR]
                                        [--trace t.jsonl --metrics m.json]
+    python -m repro watch corpus_dir [--interval 2] [--once]
+                                     [--until-days N] [--max-ticks N]
+                                     [--analyses a,b] [--no-cache] [--json]
+    python -m repro advance corpus_dir --days 2
     python -m repro summary --scale 0.01 --days 14 [--json]
     python -m repro report t.jsonl
 
@@ -30,6 +35,14 @@ finishes an interrupted run byte-identically.  ``analyze --supervised``
 (implied by ``--timeout`` or ``--resume``) runs each analysis in a child
 process with a wall-clock timeout and bounded retries; ``analyze
 --resume`` re-runs only analyses with no journaled terminal outcome.
+
+Streaming: ``generate --keep-segments`` retains the committed per-day
+segments; ``watch`` then tails the corpus's checkpoint journal,
+ingesting only newly committed days and advancing checkpointed
+per-analysis reducers, so its reports carry the *same* value
+fingerprints a from-scratch batch ``analyze`` would produce for the
+consumed prefix; ``advance --days N`` extends a kept-segments corpus by
+N more days through the same commit log.
 
 Parallelism: ``--jobs N`` fans work across N forked workers (0 = all
 CPUs) — day segments for ``generate``, supervised analyses for
@@ -65,6 +78,7 @@ from repro import telemetry
 from repro.core.hosts import HostClass
 from repro.core.report import format_table, pct, seconds_human
 from repro.core.study import StudyReport
+from repro.corpus.ingest import ErrorPolicy
 from repro.corpus.manifest import (
     CONTROL_FILE,
     DATA_FILE,
@@ -72,14 +86,16 @@ from repro.corpus.manifest import (
     META_FILE,
     validate_corpus,
 )
+from repro.corpus.platform import load_platform
 from repro.errors import (
     CheckpointError,
     FaultInjectionError,
     ReproError,
+    StreamError,
     TelemetryError,
 )
 from repro.faults import FaultSpec, degrade_corpus_dir
-from repro.ixp.peeringdb import OrgType, PeeringDB, PeeringDBRecord
+from repro.ixp.peeringdb import PeeringDB
 from repro.scenario import ScenarioConfig, run_scenario
 from repro.telemetry.report import load_trace, render_report
 
@@ -144,7 +160,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         with telemetry.activate(telem):
             report = checkpointed_generate(
                 config, args.out, resume=args.resume, run=manifest,
-                jobs=args.jobs,
+                jobs=args.jobs, keep_segments=args.keep_segments,
                 extra_meta={"scale": args.scale, "duration_days": args.days,
                             "seed": args.seed})
     except CheckpointError as exc:
@@ -157,14 +173,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_platform(path: Path) -> tuple[list[int], int, PeeringDB]:
-    meta = json.loads((path / META_FILE).read_text())
-    db = PeeringDB()
-    for entry in meta["peeringdb"]:
-        db.register(PeeringDBRecord(
-            asn=int(entry["asn"]), name=entry["name"],
-            org_type=OrgType(entry["org_type"]), scope=entry["scope"],
-        ))
-    return list(meta["peer_asns"]), int(meta["route_server_asn"]), db
+    # thin alias kept for importers (benchmarks); the real loader lives
+    # in repro.corpus.platform
+    return load_platform(path)
 
 
 def _check_corpus_files(path: Path) -> int:
@@ -231,11 +242,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     rc = _check_corpus_files(path)
     if rc != EXIT_OK:
         return rc
-    policy = "strict" if args.strict else "skip"
+    policy = ErrorPolicy.STRICT if args.strict else ErrorPolicy.SKIP
     telem = _make_telemetry(args)
     manifest = telemetry.run_manifest(
-        "analyze", corpus=str(path), policy=policy,
-        config={"policy": policy, "host_min_days": args.host_min_days})
+        "analyze", corpus=str(path), policy=policy.value,
+        config={"policy": policy.value, "host_min_days": args.host_min_days})
     started = time.perf_counter()
     try:
         supervisor, journal = _analyze_supervision(args, path)
@@ -275,6 +286,106 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         _print_study(pipeline, report)
     return _study_exit_code(report)
+
+
+def _stream_exit_code(report) -> int:
+    """Map a stream report onto the analyze exit codes."""
+    if not report.ok:
+        return EXIT_FAILURES
+    if report.all_degraded:
+        return EXIT_ALL_DEGRADED
+    return EXIT_OK
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import ResultCache
+    from repro.streaming import StreamEngine
+
+    path = Path(args.corpus)
+    if not path.is_dir():
+        print(f"error: {path} is not a directory", file=sys.stderr)
+        return EXIT_USAGE
+    policy = ErrorPolicy.STRICT if args.strict else ErrorPolicy.SKIP
+    analyses = None
+    if args.analyses:
+        analyses = [name.strip() for name in args.analyses.split(",")
+                    if name.strip()]
+        from repro.core.registry import get_analysis
+        try:
+            for name in analyses:
+                get_analysis(name)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    telem = _make_telemetry(args)
+    manifest = telemetry.run_manifest(
+        "watch", corpus=str(path), policy=policy.value,
+        config={"policy": policy.value,
+                "host_min_days": args.host_min_days})
+    started = time.perf_counter()
+    cache = None if args.no_cache else ResultCache.for_corpus(path)
+    engine = None
+    with telemetry.activate(telem):
+        try:
+            engine = StreamEngine.open(path, policy=policy,
+                                       host_min_days=args.host_min_days,
+                                       cache=cache, fresh=args.fresh)
+            if args.once:
+                engine.tick()
+            else:
+                engine.watch(interval=args.interval,
+                             max_ticks=args.max_ticks,
+                             until_days=args.until_days)
+            report = engine.report(analyses)
+        except StreamError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_UNREADABLE
+        except ReproError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: cannot ingest corpus: {exc}", file=sys.stderr)
+            return EXIT_UNREADABLE
+        except KeyboardInterrupt:
+            _write_telemetry(telem, args, manifest, started)
+            if not args.quiet:
+                watermark = engine.watermark_days if engine else 0
+                print(f"watch interrupted at watermark day {watermark}",
+                      file=sys.stderr)
+            return EXIT_OK
+    _write_telemetry(telem, args, manifest, started)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    elif not args.quiet:
+        print(report.format())
+    return _stream_exit_code(report)
+
+
+def _cmd_advance(args: argparse.Namespace) -> int:
+    from repro.streaming import advance_corpus
+
+    path = Path(args.corpus)
+    if not path.is_dir():
+        print(f"error: {path} is not a directory", file=sys.stderr)
+        return EXIT_USAGE
+    telem = _make_telemetry(args)
+    manifest = telemetry.run_manifest("advance", corpus=str(path),
+                                      config={"days": args.days})
+    started = time.perf_counter()
+    with telemetry.activate(telem):
+        try:
+            report = advance_corpus(path, args.days)
+        except StreamError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except ReproError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: cannot advance corpus: {exc}", file=sys.stderr)
+            return EXIT_UNREADABLE
+    _write_telemetry(telem, args, manifest, started)
+    if not args.quiet:
+        print(report.format())
+    return EXIT_OK
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -433,6 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan day-segment writes across N forked workers "
                           "(0 = all CPUs, default 1); output is "
                           "byte-identical for every value")
+    gen.add_argument("--keep-segments", action="store_true",
+                     help="retain the committed per-day segment files "
+                          "after finalize (required for 'watch' and "
+                          "'advance')")
     gen.add_argument("--progress", action="store_true",
                      help="print per-stage progress lines to stderr")
     gen.add_argument("-q", "--quiet", action="store_true",
@@ -471,6 +586,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="machine-readable study report on stdout")
     add_telemetry_flags(ana)
     ana.set_defaults(func=_cmd_analyze, strict=False)
+
+    wat = sub.add_parser("watch",
+                         help="incrementally analyze a kept-segments "
+                              "corpus as days are committed")
+    wat.add_argument("corpus", help="directory written by "
+                                    "'generate --keep-segments'")
+    wat.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="poll interval between ticks (default 1)")
+    stop = wat.add_mutually_exclusive_group()
+    stop.add_argument("--once", action="store_true",
+                      help="consume everything committed so far, report, "
+                           "and exit")
+    stop.add_argument("--until-days", type=int, metavar="N",
+                      help="watch until N days are consumed, then report "
+                           "and exit")
+    stop.add_argument("--max-ticks", type=int, metavar="N",
+                      help="stop after N poll ticks regardless of progress")
+    wat.add_argument("--host-min-days", type=int, default=20)
+    mode = wat.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="fail on the first bad record or analysis")
+    mode.add_argument("--lenient", dest="strict", action="store_false",
+                      help="skip bad records, isolate failing analyses "
+                           "(default)")
+    wat.add_argument("--analyses", metavar="NAME[,NAME...]",
+                     help="restrict the report to these registry analyses")
+    wat.add_argument("--fresh", action="store_true",
+                     help="ignore any existing stream checkpoint and "
+                          "consume from day 0")
+    wat.add_argument("--no-cache", action="store_true",
+                     help="disable the corpus-local result cache for "
+                          "non-incremental analyses")
+    wat.add_argument("--json", action="store_true",
+                     help="machine-readable stream report on stdout")
+    wat.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress informational output")
+    add_telemetry_flags(wat)
+    wat.set_defaults(func=_cmd_watch, strict=False)
+
+    adv = sub.add_parser("advance",
+                         help="extend a kept-segments corpus by N days")
+    adv.add_argument("corpus", help="directory written by "
+                                    "'generate --keep-segments'")
+    adv.add_argument("--days", type=int, required=True, metavar="N",
+                     help="how many days to append")
+    adv.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress informational output")
+    add_telemetry_flags(adv)
+    adv.set_defaults(func=_cmd_advance)
 
     val = sub.add_parser("validate",
                          help="integrity-check a corpus directory")

@@ -101,10 +101,38 @@ class PrefixLengthDropRates:
                 float(self.traffic_share[idx]))
 
 
+def window_traffic_totals(data: DataPlaneCorpus, prefix: IPv4Prefix,
+                          t0: float, t1: float) -> Tuple[int, int, int, int]:
+    """``(packets, dropped, bytes, dropped_bytes)`` destined into
+    ``prefix`` during ``[t0, t1)``.
+
+    The per-window kernel of :func:`event_traffic`, exposed so the
+    streaming engine can accumulate the same integer totals window
+    fragment by window fragment — sums of fragment totals equal the
+    batch totals exactly.
+    """
+    window = data.slice_time(t0, t1)
+    if len(window) == 0:
+        return 0, 0, 0, 0
+    mask = _dst_mask(window, prefix)
+    if not mask.any():
+        return 0, 0, 0, 0
+    sub = window[mask]
+    sizes = sub["size"].astype(np.int64)
+    dropped = sub["dropped"]
+    return (len(sub), int(dropped.sum()),
+            int(sizes.sum()), int(sizes[dropped].sum()))
+
+
 def drop_rate_by_prefix_length(data: DataPlaneCorpus,
                                events: Sequence[RTBHEvent]) -> PrefixLengthDropRates:
     """Aggregate Fig. 5 from per-event traffic."""
-    traffic = event_traffic(data, events)
+    return aggregate_drop_rates(event_traffic(data, events))
+
+
+def aggregate_drop_rates(traffic: Sequence[EventTraffic],
+                         ) -> PrefixLengthDropRates:
+    """Fig. 5 from already-computed per-event totals (reducer state)."""
     by_len: Dict[int, List[EventTraffic]] = {}
     for t in traffic:
         by_len.setdefault(t.prefix_length, []).append(t)
@@ -140,7 +168,14 @@ def drop_rate_cdf_by_length(data: DataPlaneCorpus, events: Sequence[RTBHEvent],
     Events with fewer than ``min_packets`` sampled packets are skipped —
     a drop share estimated from a couple of samples is noise.
     """
-    traffic = event_traffic(data, events)
+    return drop_cdfs_from_traffic(event_traffic(data, events),
+                                  lengths=lengths, min_packets=min_packets)
+
+
+def drop_cdfs_from_traffic(traffic: Sequence[EventTraffic],
+                           lengths: Sequence[int] = (24, 32),
+                           min_packets: int = 10) -> Dict[int, EmpiricalCDF]:
+    """Fig. 6 from already-computed per-event totals (reducer state)."""
     out: Dict[int, EmpiricalCDF] = {}
     for length in lengths:
         shares = [t.drop_share_packets for t in traffic

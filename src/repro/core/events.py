@@ -72,16 +72,19 @@ class RTBHEvent:
         return any(s <= time < e for s, e in self.windows)
 
 
-def _merged_prefix_windows(
-    control: ControlPlaneCorpus,
+def merge_annotated_windows(
+    raw: Dict[IPv4Prefix, List[Tuple[float, float, int]]],
+    origin_of: Dict[Tuple[IPv4Prefix, int], int],
 ) -> Dict[IPv4Prefix, List[Tuple[float, float, frozenset, int]]]:
     """Per prefix: announcement windows merged *across announcers* (overlaps
-    coalesced), annotated with (start, end, announcer set, origin)."""
-    raw = control.rtbh_windows_by_prefix()
-    origin_of: Dict[Tuple[IPv4Prefix, int], int] = {}
-    for msg in control.rtbh_updates():
-        if msg.is_announce:
-            origin_of.setdefault((msg.prefix, msg.peer_asn), msg.origin_asn)
+    coalesced), annotated with (start, end, announcer set, origin).
+
+    ``raw`` maps each prefix to its ``(start, end, announcer)`` windows
+    (the shape of :meth:`ControlPlaneCorpus.rtbh_windows_by_prefix`);
+    ``origin_of`` maps ``(prefix, announcer)`` to the first origin ASN
+    seen.  Split out so the streaming reducers can feed the same merge
+    from incrementally-maintained state.
+    """
     out: Dict[IPv4Prefix, List[Tuple[float, float, frozenset, int]]] = {}
     for prefix, windows in raw.items():
         annotated = [
@@ -100,14 +103,40 @@ def _merged_prefix_windows(
     return out
 
 
+def _merged_prefix_windows(
+    control: ControlPlaneCorpus,
+) -> Dict[IPv4Prefix, List[Tuple[float, float, frozenset, int]]]:
+    """The annotated merge, fed from a full corpus scan."""
+    raw = control.rtbh_windows_by_prefix()
+    origin_of: Dict[Tuple[IPv4Prefix, int], int] = {}
+    for msg in control.rtbh_updates():
+        if msg.is_announce:
+            origin_of.setdefault((msg.prefix, msg.peer_asn), msg.origin_asn)
+    return merge_annotated_windows(raw, origin_of)
+
+
 def extract_events(control: ControlPlaneCorpus,
                    delta: float = DEFAULT_DELTA) -> List[RTBHEvent]:
     """Group the corpus' blackhole windows into RTBH events at threshold Δ."""
+    return events_from_merged_windows(_merged_prefix_windows(control), delta)
+
+
+def events_from_merged_windows(
+    merged: Dict[IPv4Prefix, List[Tuple[float, float, frozenset, int]]],
+    delta: float = DEFAULT_DELTA,
+) -> List[RTBHEvent]:
+    """Δ-group pre-merged annotated windows into numbered RTBH events.
+
+    The grouping half of :func:`extract_events`, callable on reducer
+    state.  Event numbering is by global ``(start, prefix)`` order —
+    stable under append-only corpus growth, which is what lets the
+    streaming engine keep per-event accumulators across watermarks.
+    """
     if delta < 0:
         raise AnalysisError(f"delta must be non-negative: {delta}")
     events: List[RTBHEvent] = []
     eid = 0
-    for prefix, windows in sorted(_merged_prefix_windows(control).items()):
+    for prefix, windows in sorted(merged.items()):
         group: List[Tuple[float, float]] = []
         announcers: set[int] = set()
         origin = windows[0][3]

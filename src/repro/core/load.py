@@ -50,6 +50,20 @@ def rtbh_load_series(control: ControlPlaneCorpus,
         raise AnalysisError("empty control corpus")
     t0 = control.start_time if t0 is None else t0
     t1 = control.end_time if t1 is None else t1
+    times = np.array([m.time for m in control.rtbh_updates()])
+    return load_series_from_state(control.rtbh_windows_by_prefix(), times,
+                                  t0, t1)
+
+
+def load_series_from_state(windows, message_times, t0: float,
+                           t1: float) -> RTBHLoadSeries:
+    """Fig. 3 from pre-extracted state — no corpus scan.
+
+    ``windows`` is the ``prefix -> [(start, end, announcer)]`` map of
+    :meth:`ControlPlaneCorpus.rtbh_windows_by_prefix`; ``message_times``
+    the timestamps of the RTBH-related updates.  The streaming engine
+    maintains both incrementally and calls this per watermark.
+    """
     if t1 <= t0:
         raise AnalysisError("t1 must be after t0")
     edges = np.arange(t0, t1 + MINUTE, MINUTE)
@@ -58,7 +72,6 @@ def rtbh_load_series(control: ControlPlaneCorpus,
     messages = np.zeros(n_bins, dtype=np.int64)
     # active count via +1/-1 deltas at window edges, prefix-deduplicated
     deltas = np.zeros(n_bins + 1, dtype=np.int64)
-    windows = control.rtbh_windows_by_prefix()
     for prefix, prefix_windows in windows.items():
         merged: list[tuple[float, float]] = []
         for start, end, _peer in sorted(prefix_windows):
@@ -73,8 +86,8 @@ def rtbh_load_series(control: ControlPlaneCorpus,
             deltas[hi] -= 1
     active = np.cumsum(deltas[:-1])
 
-    times = np.array([m.time for m in control.rtbh_updates()])
-    counts, _ = np.histogram(times, bins=edges)
+    counts, _ = np.histogram(np.asarray(message_times, dtype=np.float64),
+                             bins=edges)
     messages += counts
     return RTBHLoadSeries(
         minute_starts=edges[:-1],

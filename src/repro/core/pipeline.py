@@ -5,12 +5,21 @@ shared caching: events are extracted once, the pre-RTBH classification and
 per-event traffic are computed once, and every figure/table draws on those.
 Consumes only the two corpora (plus the membership list and the PeeringDB
 registry for the joins) — never scenario ground truth.
+
+Analyses are addressed by name through the registry
+(:data:`repro.core.registry.ANALYSES`)::
+
+    pipeline.run("fig10_merge_sweep")
+
+The historical per-figure methods (``pipeline.fig10_merge_sweep()``)
+remain as thin shims that emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from functools import cached_property
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.core import classify as classify_mod
 from repro.core import collateral as collateral_mod
@@ -23,32 +32,17 @@ from repro.core import pre_rtbh as pre_mod
 from repro.core import protocols as protocols_mod
 from repro.core import visibility as visibility_mod
 from repro.core.events import DEFAULT_DELTA, RTBHEvent, extract_events
+from repro.core.registry import ANALYSES, get_analysis
 from repro.core.study import StudyReport, run_analysis
 from repro.corpus.control import ControlPlaneCorpus
 from repro.corpus.data import DataPlaneCorpus
 from repro.ixp.peeringdb import PeeringDB
 from repro import telemetry
 
-#: every analysis `run_all` executes, in study order; names are the
-#: pipeline method names so reports stay greppable against the paper
-ANALYSIS_NAMES = (
-    "fig2_time_offset",
-    "fig3_load",
-    "fig4_targeted_visibility",
-    "fig5_drop_by_length",
-    "fig6_drop_cdfs",
-    "fig7_top_sources",
-    "fig8_org_types",
-    "fig10_merge_sweep",
-    "table2_pre_classes",
-    "sec54_protocol_mix",
-    "table3_amplification",
-    "fig14_filterable",
-    "fig15_participation",
-    "table4_host_types",
-    "fig18_collateral",
-    "fig19_use_cases",
-)
+#: every analysis `run_all` executes, in study order; names are registry
+#: names (see :data:`repro.core.registry.ANALYSES`) so reports stay
+#: greppable against the paper
+ANALYSIS_NAMES = tuple(spec.name for spec in ANALYSES)
 
 
 class AnalysisPipeline:
@@ -89,69 +83,103 @@ class AnalysisPipeline:
         """Per-event during-blackhole traffic totals."""
         return droprate_mod.event_traffic(self.data, self.events)
 
-    # -- figures & tables -------------------------------------------------------
-
-    def fig2_time_offset(self) -> "offset_mod.OffsetEstimate":
-        return offset_mod.time_offset_analysis(self.control, self.data)
-
-    def fig3_load(self) -> load_mod.RTBHLoadSeries:
-        return load_mod.rtbh_load_series(self.control)
-
-    def fig4_targeted_visibility(self,
-                                 sample_interval: float = 3_600.0,
-                                 ) -> visibility_mod.TargetedVisibilitySeries:
-        return visibility_mod.targeted_visibility(
-            self.control, self.peer_asns, self.route_server_asn,
-            sample_interval=sample_interval,
-        )
-
-    def fig5_drop_by_length(self) -> droprate_mod.PrefixLengthDropRates:
-        return droprate_mod.drop_rate_by_prefix_length(self.data, self.events)
-
-    def fig6_drop_cdfs(self, lengths=(24, 32)):
-        return droprate_mod.drop_rate_cdf_by_length(self.data, self.events,
-                                                    lengths=lengths)
-
-    def fig7_top_sources(self, top_n: int = 100) -> List[droprate_mod.SourceReaction]:
-        return droprate_mod.top_source_reactions(self.data, self.events, top_n=top_n)
-
-    def fig8_org_types(self, top_n: int = 100):
-        return droprate_mod.top_source_org_types(self.fig7_top_sources(top_n),
-                                                 self.peeringdb)
-
-    def fig10_merge_sweep(self, deltas=None):
-        return droprate_sweep(self.control, deltas)
-
-    def table2_pre_classes(self) -> Dict[pre_mod.PreRTBHClass, float]:
-        return self.pre_classification.class_shares()
-
-    def sec54_protocol_mix(self) -> protocols_mod.EventProtocolMix:
-        return protocols_mod.event_protocol_mix(self.data, self.events,
-                                                self.pre_classification)
-
-    def table3_amplification(self) -> Dict[int, float]:
-        return protocols_mod.amplification_protocol_table(self.sec54_protocol_mix())
-
-    def fig14_filterable(self):
-        return filtering_mod.filterable_share_cdf(self.data, self.events,
-                                                  self.pre_classification)
-
-    def fig15_participation(self) -> filtering_mod.ASParticipation:
-        return filtering_mod.as_participation(self.data, self.events,
-                                              self.pre_classification)
-
     @cached_property
     def host_study(self) -> hosts_mod.HostStudy:
         """Figs 16–17 / Table 4 host profiling."""
         return hosts_mod.classify_hosts(self.control, self.data, self.events,
                                         min_days=self.host_min_days)
 
-    def table4_host_types(self):
+    # -- named execution --------------------------------------------------------
+
+    def run(self, name: str, /, **kwargs):
+        """Run one analysis by its registry name.
+
+        ``kwargs`` are forwarded to the analysis (e.g. ``top_n`` for
+        ``fig7_top_sources``).  Unknown names raise
+        :class:`~repro.errors.AnalysisError`.
+        """
+        return self.analysis_fn(name)(**kwargs)
+
+    def analysis_fn(self, name: str) -> Callable:
+        """The bound zero-argument callable for a registry name.
+
+        The non-deprecated accessor used by the serial, supervised, and
+        parallel runners — unlike ``getattr(pipeline, name)`` it does not
+        trip the deprecation shims.
+        """
+        return getattr(self, "_impl_" + get_analysis(name).name)
+
+    # -- figures & tables -------------------------------------------------------
+
+    def _impl_fig2_time_offset(self) -> "offset_mod.OffsetEstimate":
+        return offset_mod.time_offset_analysis(self.control, self.data)
+
+    def _impl_fig3_load(self) -> load_mod.RTBHLoadSeries:
+        return load_mod.rtbh_load_series(self.control)
+
+    def _impl_fig4_targeted_visibility(
+            self, sample_interval: float = 3_600.0,
+    ) -> visibility_mod.TargetedVisibilitySeries:
+        return visibility_mod.targeted_visibility(
+            self.control, self.peer_asns, self.route_server_asn,
+            sample_interval=sample_interval,
+        )
+
+    def _impl_fig5_drop_by_length(self) -> droprate_mod.PrefixLengthDropRates:
+        return droprate_mod.drop_rate_by_prefix_length(self.data, self.events)
+
+    def _impl_fig6_drop_cdfs(self, lengths=(24, 32)):
+        return droprate_mod.drop_rate_cdf_by_length(self.data, self.events,
+                                                    lengths=lengths)
+
+    def _impl_fig7_top_sources(self, top_n: int = 100,
+                               ) -> List[droprate_mod.SourceReaction]:
+        return droprate_mod.top_source_reactions(self.data, self.events,
+                                                 top_n=top_n)
+
+    def _impl_fig8_org_types(self, top_n: int = 100):
+        return droprate_mod.top_source_org_types(
+            self._impl_fig7_top_sources(top_n), self.peeringdb)
+
+    def _impl_fig10_merge_sweep(self, deltas=None):
+        return droprate_sweep(self.control, deltas)
+
+    def _impl_table2_pre_classes(self) -> Dict[pre_mod.PreRTBHClass, float]:
+        return self.pre_classification.class_shares()
+
+    def _impl_sec54_protocol_mix(self) -> protocols_mod.EventProtocolMix:
+        return protocols_mod.event_protocol_mix(self.data, self.events,
+                                                self.pre_classification)
+
+    def _impl_table3_amplification(self) -> Dict[int, float]:
+        return protocols_mod.amplification_protocol_table(
+            self._impl_sec54_protocol_mix())
+
+    def _impl_fig14_filterable(self):
+        return filtering_mod.filterable_share_cdf(self.data, self.events,
+                                                  self.pre_classification)
+
+    def _impl_fig15_participation(self) -> filtering_mod.ASParticipation:
+        return filtering_mod.as_participation(self.data, self.events,
+                                              self.pre_classification)
+
+    def _impl_table4_host_types(self):
         return self.host_study.org_type_table(self.peeringdb)
 
-    def fig18_collateral(self) -> collateral_mod.CollateralDamage:
+    def _impl_fig18_collateral(self) -> collateral_mod.CollateralDamage:
         return collateral_mod.collateral_damage(self.data, self.events,
                                                 self.host_study)
+
+    def _impl_fig19_use_cases(self) -> classify_mod.UseCaseClassification:
+        # On short corpora the absolute month-scale squatting threshold is
+        # unreachable; scale it down to a large fraction of the span.
+        span_days = (self.control.end_time - self.control.start_time) / 86_400.0
+        return classify_mod.classify_events(
+            self.events, self.pre_classification, self.event_traffic,
+            corpus_end=self.control.end_time,
+            squatting_min_days=min(14.0, 0.5 * span_days),
+            zombie_min_days=min(7.0, 0.3 * span_days),
+        )
 
     # -- degraded-mode execution ------------------------------------------------
 
@@ -240,7 +268,7 @@ class AnalysisPipeline:
         for name in (analyses if analyses is not None else ANALYSIS_NAMES):
             with telem.span(f"analyze.{name}") as sp:
                 outcome = run_analysis(
-                    name, getattr(self, name), strict=strict,
+                    name, self.analysis_fn(name), strict=strict,
                     degraded_inputs=degraded, fingerprint=True)
                 sp.attrs["status"] = outcome.status.value
             telem.histogram("pipeline.analysis_seconds",
@@ -252,16 +280,29 @@ class AnalysisPipeline:
             report.telemetry = telem.metrics_snapshot()
         return report
 
-    def fig19_use_cases(self) -> classify_mod.UseCaseClassification:
-        # On short corpora the absolute month-scale squatting threshold is
-        # unreachable; scale it down to a large fraction of the span.
-        span_days = (self.control.end_time - self.control.start_time) / 86_400.0
-        return classify_mod.classify_events(
-            self.events, self.pre_classification, self.event_traffic,
-            corpus_end=self.control.end_time,
-            squatting_min_days=min(14.0, 0.5 * span_days),
-            zombie_min_days=min(7.0, 0.3 * span_days),
-        )
+
+def _deprecated_accessor(name: str):
+    """A shim method delegating ``pipeline.<name>()`` to the registry."""
+    impl_name = "_impl_" + name
+
+    def shim(self, *args, **kwargs):
+        warnings.warn(
+            f"AnalysisPipeline.{name}() is deprecated; use "
+            f"pipeline.run({name!r}) instead (see "
+            "repro.core.registry.ANALYSES)",
+            DeprecationWarning, stacklevel=2)
+        return getattr(self, impl_name)(*args, **kwargs)
+
+    shim.__name__ = name
+    shim.__qualname__ = f"AnalysisPipeline.{name}"
+    shim.__doc__ = (f"Deprecated alias for ``run({name!r})`` — "
+                    "emits ``DeprecationWarning``.")
+    return shim
+
+
+for _name in ANALYSIS_NAMES:
+    setattr(AnalysisPipeline, _name, _deprecated_accessor(_name))
+del _name
 
 
 def droprate_sweep(control: ControlPlaneCorpus, deltas=None):

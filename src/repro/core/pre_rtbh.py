@@ -186,46 +186,65 @@ def classify_pre_rtbh_events(
     result = PreRTBHClassification()
     corpus_start = data.start_time if len(data) else 0.0
     for event in events:
-        window_start = event.start - PRE_WINDOW
-        window = data.slice_time(window_start, event.start)
-        window = window[_dst_mask(window, event.prefix)]
-        total = len(window)
-        if total == 0:
-            result.events.append(PreRTBHEvent(
-                event_id=event.event_id,
-                classification=PreRTBHClass.NO_DATA,
-                slots_with_data=0, total_packets=0,
-            ))
-            continue
-        features = slot_features(window, window_start)
-        flags = detector.detect_multi(features)
-        # Slots before the corpus began are *artificially* zero; they must
-        # not serve as detection history. Re-apply the full-window rule
-        # relative to the first real slot.
-        first_real = int(max(0.0, np.ceil((corpus_start - window_start) / SLOT)))
-        if first_real > 0:
-            cutoff = min(first_real + detector.config.min_window, N_SLOTS)
-            flags[:cutoff] = False
-        levels = flags.sum(axis=1)
-        anomalous = np.flatnonzero(levels > 0)
-        anomalies = tuple(
-            (float((N_SLOTS - s) * SLOT / 60.0), int(levels[s])) for s in anomalous
-        )
-        slots_with_data = int((features[:, 0] > 0).sum())
-        # Fig. 13: relative rise of the final 5-minute slot
-        means = features.mean(axis=0)
-        last = features[-1]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            factors = np.where(means > 0, last / means, np.nan)
-        has_recent = any(off <= anomaly_horizon_min for off, _ in anomalies)
-        result.events.append(PreRTBHEvent(
-            event_id=event.event_id,
-            classification=(PreRTBHClass.DATA_ANOMALY if has_recent
-                            else PreRTBHClass.DATA_NO_ANOMALY),
-            slots_with_data=slots_with_data,
-            total_packets=total,
-            anomalies=anomalies,
-            amplification_factors=tuple(float(f) for f in factors),
-            last_slot_is_max=bool(last[0] > 0 and last[0] >= features[:, 0].max()),
-        ))
+        result.events.append(classify_single_event(
+            data, event, detector, corpus_start=corpus_start,
+            anomaly_horizon_min=anomaly_horizon_min))
     return result
+
+
+def classify_single_event(
+    data: DataPlaneCorpus,
+    event: RTBHEvent,
+    detector: EWMAAnomalyDetector,
+    *,
+    corpus_start: float,
+    anomaly_horizon_min: float = 10.0,
+) -> PreRTBHEvent:
+    """Classify one event's 72 h pre-window.
+
+    The result depends only on data *before* ``event.start`` (and the
+    fixed ``corpus_start``), so the streaming engine classifies each
+    event exactly once — at the watermark where it first appears — and
+    the outcome never changes as the corpus grows.
+    """
+    window_start = event.start - PRE_WINDOW
+    window = data.slice_time(window_start, event.start)
+    window = window[_dst_mask(window, event.prefix)]
+    total = len(window)
+    if total == 0:
+        return PreRTBHEvent(
+            event_id=event.event_id,
+            classification=PreRTBHClass.NO_DATA,
+            slots_with_data=0, total_packets=0,
+        )
+    features = slot_features(window, window_start)
+    flags = detector.detect_multi(features)
+    # Slots before the corpus began are *artificially* zero; they must
+    # not serve as detection history. Re-apply the full-window rule
+    # relative to the first real slot.
+    first_real = int(max(0.0, np.ceil((corpus_start - window_start) / SLOT)))
+    if first_real > 0:
+        cutoff = min(first_real + detector.config.min_window, N_SLOTS)
+        flags[:cutoff] = False
+    levels = flags.sum(axis=1)
+    anomalous = np.flatnonzero(levels > 0)
+    anomalies = tuple(
+        (float((N_SLOTS - s) * SLOT / 60.0), int(levels[s])) for s in anomalous
+    )
+    slots_with_data = int((features[:, 0] > 0).sum())
+    # Fig. 13: relative rise of the final 5-minute slot
+    means = features.mean(axis=0)
+    last = features[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factors = np.where(means > 0, last / means, np.nan)
+    has_recent = any(off <= anomaly_horizon_min for off, _ in anomalies)
+    return PreRTBHEvent(
+        event_id=event.event_id,
+        classification=(PreRTBHClass.DATA_ANOMALY if has_recent
+                        else PreRTBHClass.DATA_NO_ANOMALY),
+        slots_with_data=slots_with_data,
+        total_packets=total,
+        anomalies=anomalies,
+        amplification_factors=tuple(float(f) for f in factors),
+        last_slot_is_max=bool(last[0] > 0 and last[0] >= features[:, 0].max()),
+    )

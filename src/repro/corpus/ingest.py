@@ -19,12 +19,32 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set
+from enum import Enum
+from typing import Iterable, List, Optional, Set, Union
 
 from repro.errors import IngestError
 
-#: the three supported per-record error policies
-POLICIES = ("strict", "skip", "collect")
+
+class ErrorPolicy(str, Enum):
+    """The per-record error policies, as a proper enum.
+
+    A :class:`str` subclass, so every call site that compares against the
+    literal names (``policy == "skip"``) keeps working, and either a
+    member or its string value is accepted wherever a policy is expected
+    (see :func:`check_policy`).
+    """
+
+    STRICT = "strict"
+    SKIP = "skip"
+    COLLECT = "collect"
+
+    # render as the bare value everywhere (f-strings, json, logs)
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+
+#: the three supported per-record error policies (string values)
+POLICIES = tuple(p.value for p in ErrorPolicy)
 
 #: cap on per-record detail kept in memory; counts are always exact
 MAX_PROBLEMS = 50
@@ -32,12 +52,19 @@ MAX_PROBLEMS = 50
 MAX_QUARANTINED = 1_000
 
 
-def check_policy(policy: str) -> str:
-    """Validate an ``on_error`` policy name, returning it unchanged."""
-    if policy not in POLICIES:
+def check_policy(policy: Union[str, ErrorPolicy]) -> ErrorPolicy:
+    """Validate an ``on_error`` policy, returning the :class:`ErrorPolicy`.
+
+    Accepts either an :class:`ErrorPolicy` member or one of the string
+    values in :data:`POLICIES`; anything else raises
+    :class:`~repro.errors.IngestError`.
+    """
+    try:
+        return ErrorPolicy(policy)
+    except ValueError:
         raise IngestError(
-            f"unknown error policy {policy!r}; expected one of {POLICIES}")
-    return policy
+            f"unknown error policy {policy!r}; expected one of {POLICIES}"
+        ) from None
 
 
 @dataclass(frozen=True)

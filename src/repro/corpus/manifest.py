@@ -358,9 +358,16 @@ def _check_result_caches(corpus_dir: Path, report: ValidationReport,
     if not roots:
         return
     digest = corpus_digest(corpus_dir)
+    # a streaming watcher keys its batch-fallback entries per consumed
+    # day prefix ("stream:<sha>"); entries matching a prefix of this
+    # corpus's own commit log are current, not foreign
+    from repro.streaming.engine import stream_corpus_digests
+    stream_digests = stream_corpus_digests(corpus_dir)
     for root in roots:
         cache = ResultCache(root)
         for path, entry in cache.stale_entries(digest):
+            if str(entry.get("corpus_digest")) in stream_digests:
+                continue
             recorded = str(entry.get("corpus_digest"))[:12]
             current = "absent" if digest is None else digest[:12]
             report.error(

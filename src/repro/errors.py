@@ -69,3 +69,14 @@ class CheckpointError(ReproError):
 
 class SupervisorError(ReproError):
     """The supervised analysis runner was misconfigured or cannot run."""
+
+
+class StreamError(ReproError):
+    """The streaming engine cannot watch, resume, or advance a corpus.
+
+    Raised when the corpus directory lacks the committed day segments the
+    engine tails (generate with ``--keep-segments``), when a stream
+    checkpoint no longer matches the corpus journal (the corpus was
+    regenerated underneath the watcher), or when ``advance`` is asked to
+    extend a corpus whose provenance metadata is missing.
+    """

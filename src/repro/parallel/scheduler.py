@@ -61,6 +61,7 @@ from repro.runtime.checkpoint import CheckpointJournal
 from repro.runtime.supervisor import (
     ANALYSIS_KEY,
     SupervisorPolicy,
+    _analysis_fn,
     _child_main,
     _fork_context,
     _outcome_from_entry,
@@ -222,7 +223,7 @@ def run_parallel(
             pool.outcomes[name] = outcome
             continue
         pool.queue.append(_Task(
-            name=name, fn=getattr(pipeline, name),
+            name=name, fn=_analysis_fn(pipeline, name),
             rng=random.Random(f"{policy.seed}:{name}")))
 
     with telem.span("analyze.parallel", jobs=jobs,

@@ -121,6 +121,7 @@ def checkpointed_generate(
     run: Optional[dict] = None,
     extra_meta: Optional[dict] = None,
     jobs: int = 1,
+    keep_segments: bool = False,
 ) -> GenerateReport:
     """Generate (or finish generating) a corpus directory crash-safely.
 
@@ -129,6 +130,12 @@ def checkpointed_generate(
     (the CLI records scale/days/seed there).  ``jobs`` fans the segment
     writes across that many forked workers (0 = all CPUs); the output
     bytes are identical for every value.
+
+    ``keep_segments=True`` retains the per-day ``.segments/`` files after
+    finalize instead of deleting them — required for streaming consumers
+    (``repro watch``) and incremental extension (``repro advance``),
+    which treat the committed segments plus the checkpoint journal as an
+    append-only commit log.
     """
     from time import perf_counter
 
@@ -176,7 +183,8 @@ def checkpointed_generate(
         with telem.span("generate.finalize"):
             _finalize(result, out, seg_dir, segments, journal, report,
                       run=run, extra_meta=extra_meta)
-    shutil.rmtree(seg_dir, ignore_errors=True)
+    if not keep_segments:
+        shutil.rmtree(seg_dir, ignore_errors=True)
     return report
 
 

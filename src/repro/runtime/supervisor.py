@@ -195,6 +195,18 @@ def _outcome_from_entry(entry: dict) -> AnalysisOutcome:
     )
 
 
+def _analysis_fn(pipeline, name: str):
+    """Resolve an analysis callable without tripping deprecation shims.
+
+    Registry-aware pipelines expose ``analysis_fn``; duck-typed test
+    doubles fall back to plain attribute access.
+    """
+    accessor = getattr(pipeline, "analysis_fn", None)
+    if accessor is not None:
+        return accessor(name)
+    return getattr(pipeline, name)
+
+
 def ingest_warnings(pipeline) -> list:
     """The per-corpus ingest-loss warnings a study report carries."""
     warnings = []
@@ -257,7 +269,7 @@ def run_supervised(
                 report.outcomes.append(_outcome_from_entry(entry))
                 telem.counter("supervisor.resumed").inc()
                 continue
-        outcome = _supervise_one(name, getattr(pipeline, name), degraded,
+        outcome = _supervise_one(name, _analysis_fn(pipeline, name), degraded,
                                  policy, rng, telem)
         report.outcomes.append(outcome)
         telem.counter("pipeline.analyses", status=outcome.status.value).inc()

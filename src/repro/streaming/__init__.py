@@ -1,0 +1,37 @@
+"""repro.streaming — incremental analysis over an append-only corpus.
+
+The streaming engine (``repro watch``) tails the committed day segments
+of a generated corpus, advances serializable per-analysis reducers, and
+reports results whose value fingerprints equal a from-scratch batch run
+over the same corpus prefix.  ``repro advance`` extends a corpus by more
+days through the same commit log.  See DESIGN.md §10.
+"""
+
+from repro.streaming.advance import AdvanceReport, advance_corpus
+from repro.streaming.engine import StreamEngine
+from repro.streaming.reducers import (
+    ControlReducer,
+    PreRTBHReducer,
+    TrafficReducer,
+)
+from repro.streaming.report import StreamReport
+from repro.streaming.state import (
+    STREAM_CHECKPOINT_FILE,
+    StreamState,
+    load_state,
+    save_state,
+)
+
+__all__ = [
+    "AdvanceReport",
+    "ControlReducer",
+    "PreRTBHReducer",
+    "STREAM_CHECKPOINT_FILE",
+    "StreamEngine",
+    "StreamReport",
+    "StreamState",
+    "TrafficReducer",
+    "advance_corpus",
+    "load_state",
+    "save_state",
+]

@@ -1,0 +1,518 @@
+"""The incremental streaming analysis engine (``repro watch``).
+
+:class:`StreamEngine` tails a corpus directory produced by
+``repro generate --keep-segments``: the per-day segment files under
+``.segments/`` plus the checkpoint journal (``.checkpoint.jsonl``) act as
+an append-only commit log.  Each :meth:`tick` re-reads the journal,
+ingests every newly committed day (a day counts only once *both* planes'
+segments are committed), feeds the control messages through the
+serializable reducers of :mod:`repro.streaming.reducers`, and persists a
+stream checkpoint atomically — so a SIGKILLed watcher resumes mid-stream
+from the last consumed day instead of re-ingesting the prefix.
+
+:meth:`report` then produces a :class:`~repro.streaming.report
+.StreamReport`: incremental analyses are answered straight from reducer
+state, everything else falls back to a cache-aware batch recompute over
+the accumulated corpora.  Either way the per-analysis value fingerprints
+must equal a from-scratch batch run over the same corpus prefix — the
+invariant the golden suite and the CI watch-smoke job assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import telemetry
+from repro.bgp.message import BGPUpdate
+from repro.core.droprate import aggregate_drop_rates, drop_cdfs_from_traffic
+from repro.core.events import DEFAULT_DELTA
+from repro.core.pipeline import ANALYSIS_NAMES, AnalysisPipeline
+from repro.core.registry import CONTROL, DATA, get_analysis
+from repro.core.study import StudyReport, run_analysis
+from repro.corpus.control import ControlPlaneCorpus, read_updates_jsonl
+from repro.corpus.data import DataPlaneCorpus
+from repro.corpus.ingest import ErrorPolicy, IngestReport, check_policy
+from repro.corpus.manifest import CONTROL_FILE, DATA_FILE, file_sha256
+from repro.corpus.platform import load_platform, read_platform_meta
+from repro.dataplane.packet import PACKET_DTYPE
+from repro.errors import CorpusError, IngestError, StreamError
+from repro.parallel.cache import ResultCache
+from repro.runtime.generate import (
+    JOURNAL_FILE,
+    SEGMENT_DIR,
+    _segment_key,
+    _segment_name,
+)
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.supervisor import ingest_warnings
+from repro.streaming.reducers import (
+    ControlReducer,
+    PreRTBHReducer,
+    TrafficReducer,
+)
+from repro.streaming.report import (
+    MODE_BATCH,
+    MODE_CACHED,
+    MODE_INCREMENTAL,
+    StreamReport,
+)
+from repro.streaming.state import (
+    ConsumedDay,
+    StreamState,
+    load_state,
+    save_state,
+)
+
+def stream_corpus_digests(corpus_dir: str | Path) -> set:
+    """Every ``stream:`` cache corpus key a watcher of this corpus may
+    have written: one per (committed day prefix, input-plane subset).
+
+    ``repro validate`` uses this to tell a legitimately prefix-keyed
+    stream cache entry apart from one left behind by a different
+    (e.g. since-regenerated) corpus.
+    """
+    journal_path = Path(corpus_dir) / JOURNAL_FILE
+    if not journal_path.exists():
+        return set()
+    journal = CheckpointJournal.load(journal_path)
+    shas = []
+    day = 0
+    while True:
+        control = journal.committed(_segment_key("control", day))
+        data = journal.committed(_segment_key("data", day))
+        if control is None or data is None:
+            break
+        shas.append((day, control.get("sha256"), data.get("sha256")))
+        day += 1
+    digests = set()
+    for subset in ((CONTROL,), (DATA,), (CONTROL, DATA)):
+        h = hashlib.sha256()
+        digests.add("stream:" + h.hexdigest())
+        for day, control_sha, data_sha in shas:
+            if CONTROL in subset:
+                h.update(f"control:{day}:{control_sha}\n".encode("utf-8"))
+            if DATA in subset:
+                h.update(f"data:{day}:{data_sha}\n".encode("utf-8"))
+            digests.add("stream:" + h.hexdigest())
+    return digests
+
+
+class StreamEngine:
+    """One watcher over one corpus directory.
+
+    Use :meth:`open` (which restores a persisted stream checkpoint when
+    one exists) rather than constructing directly.
+    """
+
+    def __init__(self, corpus_dir: str | Path, *,
+                 policy: Union[str, ErrorPolicy] = ErrorPolicy.SKIP,
+                 delta: float = DEFAULT_DELTA,
+                 host_min_days: int = 20,
+                 cache: Optional[ResultCache] = None):
+        self.corpus_dir = Path(corpus_dir)
+        self.policy = check_policy(policy)
+        self.delta = float(delta)
+        self.host_min_days = int(host_min_days)
+        self.cache = cache
+        self._control = ControlReducer()
+        self._traffic = TrafficReducer()
+        self._pre = PreRTBHReducer()
+        self._consumed: List[ConsumedDay] = []
+        #: raw parsed control messages, in segment (= time) order
+        self._messages: List[BGPUpdate] = []
+        #: raw data-plane day chunks, in segment order
+        self._chunks: List[np.ndarray] = []
+        # ingest accounting mirroring what a batch load of the
+        # accumulated prefix would report
+        self._control_total = 0
+        self._control_skipped = 0
+        self._data_total = 0
+        self._sampling_rate: Optional[int] = None
+        self._data_cache: Optional[DataPlaneCorpus] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(cls, corpus_dir: str | Path, *,
+             policy: Union[str, ErrorPolicy] = ErrorPolicy.SKIP,
+             delta: float = DEFAULT_DELTA,
+             host_min_days: int = 20,
+             cache: Optional[ResultCache] = None,
+             fresh: bool = False) -> "StreamEngine":
+        """Open a watcher, resuming its stream checkpoint if one exists.
+
+        ``fresh=True`` ignores any existing checkpoint and starts from
+        day 0 (the checkpoint file is overwritten at the next tick).
+        """
+        engine = cls(corpus_dir, policy=policy, delta=delta,
+                     host_min_days=host_min_days, cache=cache)
+        if not fresh:
+            state = load_state(corpus_dir)
+            if state is not None:
+                engine._restore(state)
+        return engine
+
+    @property
+    def watermark_days(self) -> int:
+        """Days fully consumed by this watcher."""
+        return len(self._consumed)
+
+    @property
+    def segments_consumed(self) -> int:
+        return 2 * len(self._consumed)
+
+    def state(self) -> StreamState:
+        """The serializable snapshot :meth:`tick` persists per day."""
+        return StreamState(
+            policy=self.policy.value, delta=self.delta,
+            host_min_days=self.host_min_days,
+            consumed=list(self._consumed),
+            control_state=self._control.to_state(),
+            traffic_state=self._traffic.to_state(),
+            pre_state=self._pre.to_state(),
+        )
+
+    def _restore(self, state: StreamState) -> None:
+        """Rebuild in-memory context from a persisted checkpoint.
+
+        Reducer states come from the checkpoint; the raw messages and
+        packet chunks (needed for batch-fallback analyses) are re-read
+        from the consumed segment files, each re-verified against the
+        corpus journal so a regenerated corpus cannot be silently spliced
+        onto foreign reducer state.
+        """
+        mine = self.state().config()
+        if state.config() != mine:
+            raise StreamError(
+                f"{self.corpus_dir}: stream checkpoint was written with "
+                f"config {state.config()} but the watcher was opened with "
+                f"{mine}; re-run with matching options or start fresh")
+        journal = self._journal()
+        for entry in state.consumed:
+            control_entry = journal.committed(_segment_key("control",
+                                                           entry.day))
+            data_entry = journal.committed(_segment_key("data", entry.day))
+            for plane, committed, expected in (
+                    ("control", control_entry, entry.control_sha256),
+                    ("data", data_entry, entry.data_sha256)):
+                if committed is None or committed.get("sha256") != expected:
+                    raise StreamError(
+                        f"{self.corpus_dir}: stream checkpoint consumed "
+                        f"{plane} day {entry.day} with sha {expected[:12]}… "
+                        "but the corpus journal disagrees; the corpus was "
+                        "regenerated — remove the stream checkpoint to "
+                        "start over")
+            self._ingest_day(entry.day, entry.control_sha256,
+                             entry.data_sha256, feed=False)
+            self._consumed.append(entry)
+        if state.consumed:
+            self._control = ControlReducer.from_state(state.control_state)
+            self._traffic = TrafficReducer.from_state(state.traffic_state)
+            self._pre = PreRTBHReducer.from_state(state.pre_state)
+
+    # -- consumption ---------------------------------------------------------
+
+    def _journal(self) -> CheckpointJournal:
+        path = self.corpus_dir / JOURNAL_FILE
+        if not path.exists():
+            raise StreamError(
+                f"{self.corpus_dir}: no checkpoint journal to tail; "
+                "is this a generated corpus directory?")
+        return CheckpointJournal.load(path)
+
+    def _committed_days(self, journal: CheckpointJournal) -> int:
+        """Days with *both* planes' segments committed, from day 0 on."""
+        day = 0
+        while (journal.committed(_segment_key("control", day)) is not None
+               and journal.committed(_segment_key("data", day)) is not None):
+            day += 1
+        return day
+
+    def tick(self) -> int:
+        """Consume every newly committed day; returns how many.
+
+        After each day the reducers have advanced and the stream
+        checkpoint is durably on disk — the chaos kill point
+        ``stream:day:NNN`` fires between days, and a watcher killed
+        there resumes with that day already consumed.
+        """
+        telem = telemetry.current()
+        journal = self._journal()
+        committed = self._committed_days(journal)
+        telem.gauge("stream.lag_days").set(committed - self.watermark_days)
+        consumed = 0
+        with telem.span("stream.tick", watermark=self.watermark_days,
+                        committed=committed) as sp:
+            while self.watermark_days < committed:
+                day = self.watermark_days
+                control_sha = journal.committed(
+                    _segment_key("control", day))["sha256"]
+                data_sha = journal.committed(
+                    _segment_key("data", day))["sha256"]
+                self._ingest_day(day, control_sha, data_sha, feed=True)
+                self._consumed.append(ConsumedDay(
+                    day=day, control_sha256=control_sha,
+                    data_sha256=data_sha))
+                self._advance_reducers()
+                save_state(self.corpus_dir, self.state())
+                consumed += 1
+                telem.counter("stream.segments_consumed").inc(2)
+            sp.attrs["consumed_days"] = consumed
+        telem.gauge("stream.lag_days").set(
+            self._committed_days(journal) - self.watermark_days)
+        return consumed
+
+    def _segment_path(self, plane: str, day: int) -> Path:
+        path = self.corpus_dir / SEGMENT_DIR / _segment_name(plane, day)
+        if not path.exists():
+            raise StreamError(
+                f"{path}: committed segment file is missing; generate the "
+                "corpus with --keep-segments to leave the day segments "
+                "on disk for streaming")
+        return path
+
+    def _ingest_day(self, day: int, control_sha: str, data_sha: str, *,
+                    feed: bool) -> None:
+        """Read one day's two segments into the accumulated context.
+
+        ``feed=True`` additionally runs the control messages through the
+        control reducer (first consumption); restore passes ``feed=False``
+        because the reducer state comes from the checkpoint.
+        """
+        control_path = self._segment_path("control", day)
+        data_path = self._segment_path("data", day)
+        for path, expected in ((control_path, control_sha),
+                               (data_path, data_sha)):
+            actual = file_sha256(path)
+            if actual != expected:
+                raise StreamError(
+                    f"{path}: segment checksum {actual[:12]}… does not "
+                    f"match the journal's {expected[:12]}…; the corpus "
+                    "changed underneath the watcher")
+        policy = self.policy.value
+        for line_no, item in read_updates_jsonl(control_path,
+                                                on_error=policy):
+            self._control_total += 1
+            if not isinstance(item, BGPUpdate):
+                self._control_skipped += 1
+                continue
+            if not math.isfinite(item.time):
+                # mirror ControlPlaneCorpus construction: strict raises,
+                # lenient drops with accounting
+                if policy == "strict":
+                    raise CorpusError(
+                        f"control-plane record {control_path.name}:{line_no} "
+                        f"has non-finite timestamp {item.time!r}")
+                self._control_skipped += 1
+                continue
+            self._messages.append(item)
+            if feed:
+                self._control.feed(item)
+        try:
+            with np.load(data_path) as archive:
+                chunk = archive["packets"]
+        except Exception as exc:
+            raise IngestError(
+                f"{data_path}: unreadable segment archive: {exc}") from exc
+        if chunk.dtype != PACKET_DTYPE or chunk.ndim != 1:
+            raise CorpusError(
+                f"{data_path}: expected 1-D PACKET_DTYPE array, got "
+                f"{chunk.dtype} with shape {chunk.shape}")
+        self._data_total += len(chunk)
+        self._chunks.append(chunk)
+        self._data_cache = None
+
+    def _advance_reducers(self) -> None:
+        data = self._data_corpus()
+        events = self._control.events(self.delta)
+        if self._control.message_count:
+            self._traffic.advance(data, events, self._control.end_time)
+        self._pre.advance(data, events)
+
+    # -- accumulated corpora -------------------------------------------------
+
+    def _sampling(self) -> int:
+        if self._sampling_rate is None:
+            meta = read_platform_meta(self.corpus_dir)
+            try:
+                self._sampling_rate = int(meta["sampling_rate"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CorpusError(
+                    f"{self.corpus_dir}: platform sidecar lacks a usable "
+                    f"sampling_rate: {exc}") from exc
+        return self._sampling_rate
+
+    def _data_corpus(self) -> DataPlaneCorpus:
+        """The accumulated data-plane corpus up to the watermark.
+
+        Constructed exactly as a batch ``load_npz`` of the concatenated
+        chunks would be (same validation, same stable time sort, same
+        ingest accounting), so every downstream number matches.
+        """
+        if self._data_cache is None:
+            packets = (np.concatenate(self._chunks) if self._chunks
+                       else np.zeros(0, dtype=PACKET_DTYPE))
+            report = IngestReport(source=str(self.corpus_dir / DATA_FILE),
+                                  policy=self.policy.value)
+            report.total = self._data_total
+            self._data_cache = DataPlaneCorpus(
+                packets, sampling_rate=self._sampling(),
+                on_error=self.policy.value, ingest_report=report)
+        return self._data_cache
+
+    def _control_corpus(self) -> ControlPlaneCorpus:
+        """The accumulated control-plane corpus up to the watermark."""
+        report = IngestReport(source=str(self.corpus_dir / CONTROL_FILE),
+                              policy=self.policy.value)
+        report.total = self._control_total
+        report.skipped = self._control_skipped
+        return ControlPlaneCorpus(list(self._messages),
+                                  on_error=self.policy.value,
+                                  ingest_report=report)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _config_hash(self) -> Optional[str]:
+        return telemetry.config_hash(self.state().config())
+
+    def _stream_digest(self, inputs: Sequence[str]) -> str:
+        """Cache corpus key over the consumed segments an analysis reads.
+
+        Keyed per plane, so (for instance) a control-only analysis keeps
+        hitting its cache entry even if only data segments were corrupt
+        and re-committed.  The ``stream:`` prefix keeps these entries
+        disjoint from batch ``analyze`` entries in a shared cache dir.
+        """
+        h = hashlib.sha256()
+        for entry in self._consumed:
+            if CONTROL in inputs:
+                h.update(f"control:{entry.day}:{entry.control_sha256}\n"
+                         .encode("utf-8"))
+            if DATA in inputs:
+                h.update(f"data:{entry.day}:{entry.data_sha256}\n"
+                         .encode("utf-8"))
+        return "stream:" + h.hexdigest()
+
+    def _pipeline(self) -> AnalysisPipeline:
+        try:
+            peers, rs_asn, peeringdb = load_platform(self.corpus_dir)
+        except (OSError, KeyError, ValueError) as exc:
+            raise CorpusError(
+                f"{self.corpus_dir}: unusable platform sidecar: {exc}"
+                ) from exc
+        pipeline = AnalysisPipeline(
+            self._control_corpus(), self._data_corpus(), peers,
+            peeringdb=peeringdb, route_server_asn=rs_asn,
+            delta=self.delta, host_min_days=self.host_min_days)
+        # Inject the incrementally-maintained shared intermediates into
+        # the cached_property slots so neither the incremental analyses
+        # nor the batch fallbacks recompute them from scratch.
+        events = self._control.events(self.delta)
+        pipeline.__dict__["events"] = events
+        pipeline.__dict__["event_traffic"] = self._traffic.traffic(events)
+        pipeline.__dict__["pre_classification"] = \
+            self._pre.classification(events)
+        return pipeline
+
+    def _incremental_fn(self, name: str,
+                        pipeline: AnalysisPipeline) -> Callable:
+        if name == "fig3_load":
+            return self._control.load_series
+        events = pipeline.__dict__["events"]
+        if name == "fig5_drop_by_length":
+            return lambda: aggregate_drop_rates(self._traffic.traffic(events))
+        if name == "fig6_drop_cdfs":
+            return lambda: drop_cdfs_from_traffic(self._traffic.traffic(events))
+        # table2_pre_classes / fig19_use_cases read only the injected
+        # intermediates through the pipeline — already incremental
+        return pipeline.analysis_fn(name)
+
+    def report(self, analyses: Optional[Sequence[str]] = None,
+               ) -> StreamReport:
+        """Analyze the consumed prefix; see the module docstring.
+
+        ``analyses`` restricts to a subset of registry names (default:
+        the full study).  Incremental analyses are answered from reducer
+        state; the rest recompute batch-style over the accumulated
+        corpora, consulting the result cache when one was given.
+        """
+        telem = telemetry.current()
+        names = list(analyses if analyses is not None else ANALYSIS_NAMES)
+        specs = [get_analysis(name) for name in names]
+        with telem.span("stream.report", watermark=self.watermark_days,
+                        analyses=len(names)):
+            pipeline = self._pipeline()
+            degraded = pipeline.degraded_inputs
+            study = StudyReport()
+            study.warnings.extend(ingest_warnings(pipeline))
+            modes: Dict[str, str] = {}
+            for spec in specs:
+                name = spec.name
+                if spec.incremental:
+                    outcome = run_analysis(
+                        name, self._incremental_fn(name, pipeline),
+                        strict=False, degraded_inputs=degraded,
+                        fingerprint=True)
+                    modes[name] = MODE_INCREMENTAL
+                else:
+                    outcome = None
+                    digest = None
+                    if self.cache is not None:
+                        digest = self._stream_digest(spec.inputs)
+                        outcome = self.cache.get(digest, self._config_hash(),
+                                                 name)
+                    if outcome is not None:
+                        modes[name] = MODE_CACHED
+                    else:
+                        outcome = run_analysis(
+                            name, pipeline.analysis_fn(name), strict=False,
+                            degraded_inputs=degraded, fingerprint=True)
+                        modes[name] = MODE_BATCH
+                        if self.cache is not None:
+                            self.cache.put(digest, self._config_hash(),
+                                           outcome)
+                telem.counter("stream.analyses", mode=modes[name],
+                              status=outcome.status.value).inc()
+                study.outcomes.append(outcome)
+            if telem.enabled:
+                study.telemetry = telem.metrics_snapshot()
+        return StreamReport(
+            corpus=str(self.corpus_dir),
+            watermark_days=self.watermark_days,
+            segments_consumed=self.segments_consumed,
+            study=study, modes=modes)
+
+    # -- the watch loop ------------------------------------------------------
+
+    def watch(self, *, interval: float = 1.0,
+              max_ticks: Optional[int] = None,
+              until_days: Optional[int] = None,
+              sleep: Callable[[float], None] = time.sleep,
+              on_tick: Optional[Callable[["StreamEngine", int], None]] = None,
+              ) -> int:
+        """Tick until a stop condition; returns the final watermark.
+
+        ``until_days`` stops once that many days are consumed (the CI
+        smoke job's condition); ``max_ticks`` bounds the loop regardless;
+        ``on_tick(engine, consumed_days)`` observes each tick.  With
+        neither bound set this loops forever (the interactive
+        ``repro watch`` case — the user interrupts it).
+        """
+        ticks = 0
+        while True:
+            consumed = self.tick()
+            ticks += 1
+            if on_tick is not None:
+                on_tick(self, consumed)
+            if until_days is not None and self.watermark_days >= until_days:
+                break
+            if max_ticks is not None and ticks >= max_ticks:
+                break
+            sleep(interval)
+        return self.watermark_days

@@ -1,0 +1,85 @@
+"""The streaming analysis report.
+
+A :class:`StreamReport` wraps the per-analysis outcomes of one watch
+tick's report pass, plus the streaming context a batch
+:class:`~repro.core.study.StudyReport` has no notion of: the watermark
+(days consumed), how each analysis was produced (incrementally from
+reducer state, recomputed batch-style, or served from the result cache),
+and the consumed-segment count.
+
+The load-bearing guarantee — asserted by the golden suite and the CI
+watch-smoke job — is that :meth:`fingerprints` equals the batch study's
+fingerprints for the same corpus prefix: streaming must change *when*
+numbers are computed, never the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.study import AnalysisStatus, StudyReport
+
+#: how one analysis's outcome was produced this tick
+MODE_INCREMENTAL = "incremental"
+MODE_BATCH = "batch"
+MODE_CACHED = "cached"
+
+
+@dataclass
+class StreamReport:
+    """Outcomes of one streaming report pass over a corpus prefix."""
+
+    corpus: str
+    watermark_days: int
+    segments_consumed: int
+    study: StudyReport = field(default_factory=StudyReport)
+    #: analysis name -> "incremental" | "batch" | "cached"
+    modes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.study.ok
+
+    @property
+    def all_degraded(self) -> bool:
+        return self.study.all_degraded
+
+    def fingerprints(self) -> Dict[str, Optional[str]]:
+        """Per-analysis canonical value fingerprints (None for failures).
+
+        Must equal the batch study's fingerprints for the same corpus
+        prefix — the streaming-equivalence invariant.
+        """
+        return {o.name: o.value_digest for o in self.study.outcomes}
+
+    def to_json(self) -> dict:
+        payload = self.study.to_json()
+        payload["stream"] = {
+            "corpus": self.corpus,
+            "watermark_days": self.watermark_days,
+            "segments_consumed": self.segments_consumed,
+            "modes": dict(self.modes),
+        }
+        return payload
+
+    def format(self) -> str:
+        counts = self.study.counts()
+        lines = [
+            f"stream report: watermark day {self.watermark_days} "
+            f"({self.segments_consumed} segments consumed) — "
+            f"{counts[AnalysisStatus.OK]} ok, "
+            f"{counts[AnalysisStatus.DEGRADED]} degraded, "
+            f"{counts[AnalysisStatus.FAILED]} failed"
+        ]
+        for warning in self.study.warnings:
+            lines.append(f"  ! {warning}")
+        width = max((len(o.name) for o in self.study.outcomes), default=0)
+        for o in self.study.outcomes:
+            mode = self.modes.get(o.name, MODE_BATCH)
+            line = (f"  {o.name.ljust(width)}  {o.status.value:8s}  "
+                    f"[{mode}]")
+            if o.error is not None:
+                line += f"  {o.error_type}: {o.error}"
+            lines.append(line)
+        return "\n".join(lines)

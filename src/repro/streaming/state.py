@@ -1,0 +1,146 @@
+"""The stream checkpoint: reducer states + consumed-segment ledger.
+
+``repro watch`` persists one JSON file, ``.stream.checkpoint.json``, in
+the corpus directory it tails.  The file is written atomically after
+every consumed day (temp + fsync + rename, like every other artifact of
+the crash-safe layer), so a SIGKILLed watcher finds either the previous
+complete checkpoint or the new one — never a hybrid.  The chaos hook
+``stream:day:NNN`` fires right after the save, letting the chaos suite
+kill the watcher at exactly that boundary.
+
+Resume validation is deliberately strict: every consumed segment's
+SHA-256 must still match the corpus checkpoint journal.  A corpus that
+was regenerated underneath the watcher fails with
+:class:`~repro.errors.StreamError` instead of silently splicing reducer
+state from one corpus onto the segments of another.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import StreamError
+from repro.runtime import chaos
+from repro.runtime.atomic import atomic_write_text
+
+#: checkpoint file name inside the watched corpus directory (dot-prefixed
+#: so manifests and corpus digests never include it)
+STREAM_CHECKPOINT_FILE = ".stream.checkpoint.json"
+
+STATE_VERSION = 1
+
+
+@dataclass
+class ConsumedDay:
+    """One fully-consumed day: both planes' committed segment checksums."""
+
+    day: int
+    control_sha256: str
+    data_sha256: str
+
+
+@dataclass
+class StreamState:
+    """Everything a resumed watcher needs besides the segment files."""
+
+    policy: str
+    delta: float
+    host_min_days: int
+    consumed: List[ConsumedDay] = field(default_factory=list)
+    control_state: Optional[dict] = None
+    traffic_state: Optional[dict] = None
+    pre_state: Optional[dict] = None
+
+    @property
+    def watermark_days(self) -> int:
+        """Days fully consumed (both planes ingested and reduced)."""
+        return len(self.consumed)
+
+    def config(self) -> dict:
+        """The knobs that change results; resume refuses on mismatch."""
+        return {"policy": self.policy, "delta": self.delta,
+                "host_min_days": self.host_min_days}
+
+    def to_json(self) -> dict:
+        return {
+            "version": STATE_VERSION,
+            "policy": self.policy,
+            "delta": self.delta,
+            "host_min_days": self.host_min_days,
+            "consumed": [
+                {"day": c.day, "control_sha256": c.control_sha256,
+                 "data_sha256": c.data_sha256}
+                for c in self.consumed
+            ],
+            "control_state": self.control_state,
+            "traffic_state": self.traffic_state,
+            "pre_state": self.pre_state,
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "StreamState":
+        if raw.get("version") != STATE_VERSION:
+            raise StreamError(
+                f"unsupported stream checkpoint version {raw.get('version')!r}"
+                f" (expected {STATE_VERSION})")
+        try:
+            state = cls(
+                policy=str(raw["policy"]),
+                delta=float(raw["delta"]),
+                host_min_days=int(raw["host_min_days"]),
+                control_state=raw.get("control_state"),
+                traffic_state=raw.get("traffic_state"),
+                pre_state=raw.get("pre_state"),
+            )
+            for entry in raw["consumed"]:
+                state.consumed.append(ConsumedDay(
+                    day=int(entry["day"]),
+                    control_sha256=str(entry["control_sha256"]),
+                    data_sha256=str(entry["data_sha256"])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamError(f"corrupt stream checkpoint: {exc}") from exc
+        return state
+
+
+def checkpoint_path(corpus_dir: str | Path) -> Path:
+    return Path(corpus_dir) / STREAM_CHECKPOINT_FILE
+
+
+def save_state(corpus_dir: str | Path, state: StreamState) -> Path:
+    """Atomically persist the stream state, then fire the chaos hook.
+
+    The hook announces the *last consumed* day — a configured
+    ``REPRO_CHAOS_KILL_AT=stream:day:001`` SIGKILLs the watcher the
+    instant day 1's checkpoint is durable, exactly like a power cut
+    between ticks.
+    """
+    path = checkpoint_path(corpus_dir)
+    atomic_write_text(path, json.dumps(state.to_json()))
+    if state.consumed:
+        chaos.maybe_kill(f"stream:day:{state.consumed[-1].day:03d}")
+    return path
+
+
+def load_state(corpus_dir: str | Path) -> Optional[StreamState]:
+    """The persisted stream state, or None when none exists yet.
+
+    An unreadable or truncated checkpoint raises
+    :class:`~repro.errors.StreamError`: unlike the torn-tail-tolerant
+    journal, this file is replaced atomically, so corruption means
+    something external happened to it and silently starting from scratch
+    would hide that.
+    """
+    path = checkpoint_path(corpus_dir)
+    if not path.exists():
+        return None
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StreamError(f"{path}: unreadable stream checkpoint: {exc}"
+                          ) from exc
+    if not isinstance(raw, dict):
+        raise StreamError(f"{path}: stream checkpoint is not an object")
+    return StreamState.from_json(raw)

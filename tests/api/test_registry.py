@@ -1,0 +1,57 @@
+"""The named analysis registry and the deprecated accessor shims."""
+
+import warnings
+
+import pytest
+
+from repro import ANALYSES, get_analysis
+from repro.core.pipeline import ANALYSIS_NAMES
+from repro.core.registry import CONTROL, DATA
+from repro.errors import AnalysisError
+
+
+def test_registry_covers_the_full_study():
+    assert len(ANALYSES) == 16
+    assert ANALYSIS_NAMES == tuple(spec.name for spec in ANALYSES)
+
+
+def test_every_spec_is_complete():
+    for spec in ANALYSES:
+        assert spec.section, spec.name
+        assert spec.title, spec.name
+        assert spec.inputs, spec.name
+        assert set(spec.inputs) <= {CONTROL, DATA}, spec.name
+
+
+def test_incremental_flags():
+    incremental = {spec.name for spec in ANALYSES if spec.incremental}
+    assert incremental == {"fig3_load", "fig5_drop_by_length",
+                           "fig6_drop_cdfs", "table2_pre_classes",
+                           "fig19_use_cases"}
+
+
+def test_get_analysis_unknown_name():
+    with pytest.raises(AnalysisError, match="unknown analysis"):
+        get_analysis("fig99_nonsense")
+
+
+def test_run_rejects_unknown_name(tiny_pipeline):
+    with pytest.raises(AnalysisError):
+        tiny_pipeline.run("fig99_nonsense")
+
+
+def test_deprecated_accessor_warns_and_delegates(tiny_pipeline):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        via_run = tiny_pipeline.run("fig3_load")
+    with pytest.warns(DeprecationWarning, match="fig3_load"):
+        via_shim = tiny_pipeline.fig3_load()
+    assert via_shim.peak_active == via_run.peak_active
+    assert via_shim.mean_active == via_run.mean_active
+
+
+def test_every_shim_exists_and_warns(tiny_pipeline):
+    for name in ANALYSIS_NAMES:
+        shim = getattr(type(tiny_pipeline), name)
+        assert shim.__name__ == name
+        assert "Deprecated" in (shim.__doc__ or "")

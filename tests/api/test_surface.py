@@ -1,0 +1,55 @@
+"""Public-API snapshot: the facade surface cannot drift silently.
+
+The snapshot file ``api_surface.txt`` records every ``repro`` top-level
+export plus the signatures of the :class:`repro.api.Study` verbs and
+the fields of the options dataclasses.  Any unsnapshotted change —
+adding, removing, or re-signing a public name — fails this test until
+the snapshot is regenerated deliberately::
+
+    REPRO_UPDATE_API_SURFACE=1 PYTHONPATH=src python -m pytest tests/api
+
+and the diff reviewed like any other contract change.
+"""
+
+import dataclasses
+import inspect
+import os
+from pathlib import Path
+
+import repro
+import repro.api as api
+
+SNAPSHOT = Path(__file__).with_name("api_surface.txt")
+
+
+def _render_surface() -> str:
+    lines = ["# repro public API surface (see test_surface.py)"]
+    lines.append("[repro.__all__]")
+    for name in sorted(repro.__all__):
+        lines.append(name)
+    lines.append("[repro.api.Study]")
+    for name, member in sorted(vars(api.Study).items()):
+        if name.startswith("_"):
+            continue
+        fn = member.__func__ if isinstance(member, classmethod) else member
+        if callable(fn):
+            kind = "classmethod " if isinstance(member, classmethod) else ""
+            lines.append(f"{kind}{name}{inspect.signature(fn)}")
+    for options in (api.GenerateOptions, api.AnalyzeOptions,
+                    api.StreamOptions):
+        lines.append(f"[repro.api.{options.__name__}]")
+        for field in dataclasses.fields(options):
+            lines.append(f"{field.name} = {field.default!r}")
+    return "\n".join(lines) + "\n"
+
+
+def test_api_surface_matches_snapshot():
+    rendered = _render_surface()
+    if os.environ.get("REPRO_UPDATE_API_SURFACE"):
+        SNAPSHOT.write_text(rendered)
+    assert SNAPSHOT.exists(), \
+        "no api_surface.txt snapshot; regenerate with " \
+        "REPRO_UPDATE_API_SURFACE=1"
+    assert rendered == SNAPSHOT.read_text(), (
+        "public API surface changed; if intentional, regenerate the "
+        "snapshot with REPRO_UPDATE_API_SURFACE=1 and commit the diff")

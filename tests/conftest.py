@@ -9,6 +9,22 @@ from repro.scenario import ScenarioConfig, run_scenario
 
 
 @pytest.fixture(scope="session")
+def stream_corpus(tmp_path_factory):
+    """A small generated corpus directory with kept day segments.
+
+    Shared by the facade and streaming suites; treat it as read-only —
+    tests that mutate (advance, kill/resume checkpoints) must copy it
+    first.
+    """
+    from repro import GenerateOptions, Study
+
+    corpus = tmp_path_factory.mktemp("stream") / "corpus"
+    Study.generate(corpus, options=GenerateOptions(
+        scale=0.01, duration_days=3.0, seed=11, keep_segments=True))
+    return corpus
+
+
+@pytest.fixture(scope="session")
 def tiny_config():
     return ScenarioConfig.paper(scale=0.01, duration_days=14.0, seed=11)
 

@@ -1,0 +1,27 @@
+"""Streaming-suite fixture: a private, pristine copy of the shared
+kept-segments corpus.
+
+The session-scoped ``stream_corpus`` is shared with other suites, some
+of which legitimately leave a stream checkpoint or result cache behind
+in it; every streaming test works on a copy with that state stripped,
+so each starts from watermark zero regardless of suite ordering.
+"""
+
+import shutil
+
+import pytest
+
+from repro.streaming import STREAM_CHECKPOINT_FILE
+
+
+@pytest.fixture()
+def corpus(stream_corpus, tmp_path):
+    target = tmp_path / "corpus"
+    shutil.copytree(stream_corpus, target)
+    checkpoint = target / STREAM_CHECKPOINT_FILE
+    if checkpoint.exists():
+        checkpoint.unlink()
+    cache = target / ".cache"
+    if cache.is_dir():
+        shutil.rmtree(cache)
+    return target

@@ -1,0 +1,48 @@
+"""CLI front-door behavior of ``watch`` / ``advance`` / the
+``generate --keep-segments`` flag (in-process, usage paths)."""
+
+import shutil
+
+from repro.cli import EXIT_OK, EXIT_UNREADABLE, EXIT_USAGE, main
+from repro.runtime.generate import JOURNAL_FILE, SEGMENT_DIR
+
+
+def test_watch_rejects_missing_directory(tmp_path):
+    assert main(["watch", str(tmp_path / "nope"), "--once"]) == EXIT_USAGE
+
+
+def test_watch_rejects_unknown_analysis(corpus, capsys):
+    rc = main(["watch", str(corpus), "--once", "--analyses",
+               "fig99_nonsense"])
+    assert rc == EXIT_USAGE
+    assert "unknown analysis" in capsys.readouterr().err
+
+
+def test_watch_without_segments_is_unreadable(corpus, capsys):
+    shutil.rmtree(corpus / SEGMENT_DIR)
+    rc = main(["watch", str(corpus), "--once", "-q"])
+    assert rc == EXIT_UNREADABLE
+    assert "keep-segments" in capsys.readouterr().err
+
+
+def test_advance_rejects_missing_directory(tmp_path):
+    assert main(["advance", str(tmp_path / "nope"), "--days", "1"]) \
+        == EXIT_USAGE
+
+
+def test_advance_without_journal_is_usage_error(corpus, capsys):
+    (corpus / JOURNAL_FILE).unlink()
+    rc = main(["advance", str(corpus), "--days", "1"])
+    assert rc == EXIT_USAGE
+    assert "journal" in capsys.readouterr().err
+
+
+def test_generate_keep_segments_enables_watch(tmp_path, capsys):
+    out = tmp_path / "kept"
+    rc = main(["generate", "--scale", "0.005", "--days", "3", "--seed",
+               "3", "--out", str(out), "--keep-segments", "-q"])
+    assert rc == EXIT_OK
+    assert (out / SEGMENT_DIR).is_dir()
+    rc = main(["watch", str(out), "--once", "--host-min-days", "1",
+               "--analyses", "fig3_load", "-q"])
+    assert rc == EXIT_OK

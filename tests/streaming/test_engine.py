@@ -1,0 +1,120 @@
+"""StreamEngine: golden equivalence with batch, checkpointed resume,
+cache modes, and guardrails against a corpus changing underfoot."""
+
+import json
+import shutil
+
+import pytest
+
+from repro import AnalyzeOptions, Study
+from repro.errors import StreamError
+from repro.parallel.cache import ResultCache
+from repro.runtime.generate import JOURNAL_FILE, SEGMENT_DIR
+from repro.streaming import (
+    STREAM_CHECKPOINT_FILE,
+    StreamEngine,
+    load_state,
+)
+from repro.streaming.report import (
+    MODE_BATCH,
+    MODE_CACHED,
+    MODE_INCREMENTAL,
+)
+
+INCREMENTAL = {"fig3_load", "fig5_drop_by_length", "fig6_drop_cdfs",
+               "table2_pre_classes", "fig19_use_cases"}
+
+
+@pytest.fixture(scope="module")
+def batch_fingerprints(stream_corpus):
+    report = Study.open(stream_corpus).analyze(
+        options=AnalyzeOptions(host_min_days=1))
+    return {o.name: o.value_digest for o in report.outcomes}
+
+
+def test_tick_consumes_all_committed_days(corpus):
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    assert engine.tick() == 3
+    assert engine.watermark_days == 3
+    assert engine.tick() == 0
+
+
+def test_report_modes_and_equivalence(corpus, batch_fingerprints):
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    engine.tick()
+    report = engine.report()
+    assert report.fingerprints() == batch_fingerprints
+    for name, mode in report.modes.items():
+        expected = MODE_INCREMENTAL if name in INCREMENTAL else MODE_BATCH
+        assert mode == expected, name
+
+
+def test_cache_serves_second_report(corpus, batch_fingerprints):
+    cache = ResultCache.for_corpus(corpus)
+    engine = StreamEngine.open(corpus, host_min_days=1, cache=cache)
+    engine.tick()
+    first = engine.report()
+    second = engine.report()
+    assert second.fingerprints() == batch_fingerprints
+    for name, mode in second.modes.items():
+        expected = MODE_INCREMENTAL if name in INCREMENTAL else MODE_CACHED
+        assert mode == expected, name
+    assert first.fingerprints() == second.fingerprints()
+
+
+def test_checkpoint_resume_restores_watermark(corpus, batch_fingerprints):
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    engine.tick()
+    assert (corpus / STREAM_CHECKPOINT_FILE).exists()
+
+    resumed = StreamEngine.open(corpus, host_min_days=1)
+    assert resumed.watermark_days == 3
+    assert resumed.tick() == 0
+    assert resumed.report().fingerprints() == batch_fingerprints
+
+
+def test_fresh_ignores_checkpoint(corpus):
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    engine.tick()
+    fresh = StreamEngine.open(corpus, host_min_days=1, fresh=True)
+    assert fresh.watermark_days == 0
+    assert fresh.tick() == 3
+
+
+def test_resume_refuses_config_mismatch(corpus):
+    StreamEngine.open(corpus, host_min_days=1).tick()
+    with pytest.raises(StreamError, match="config"):
+        StreamEngine.open(corpus, host_min_days=2)
+
+
+def test_resume_refuses_regenerated_corpus(corpus):
+    StreamEngine.open(corpus, host_min_days=1).tick()
+    state = load_state(corpus)
+    state.consumed[0].control_sha256 = "0" * 64
+    (corpus / STREAM_CHECKPOINT_FILE).write_text(
+        json.dumps(state.to_json()))
+    with pytest.raises(StreamError, match="regenerated"):
+        StreamEngine.open(corpus, host_min_days=1)
+
+
+def test_missing_segments_are_a_typed_error(corpus):
+    shutil.rmtree(corpus / SEGMENT_DIR)
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    with pytest.raises(StreamError, match="keep-segments"):
+        engine.tick()
+
+
+def test_missing_journal_is_a_typed_error(corpus):
+    (corpus / JOURNAL_FILE).unlink()
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    with pytest.raises(StreamError, match="journal"):
+        engine.tick()
+
+
+def test_watch_until_days(corpus):
+    engine = StreamEngine.open(corpus, host_min_days=1)
+    naps = []
+    watermark = engine.watch(until_days=3, interval=0.01,
+                             sleep=naps.append)
+    assert watermark == 3
+    assert naps == []  # everything was already committed

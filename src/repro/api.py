@@ -80,6 +80,12 @@ class StreamOptions:
     cache: bool = True
     #: ignore any existing stream checkpoint and consume from day 0
     fresh: bool = False
+    #: live-feed tap specs (``[NAME=]FORMAT:PATH``) to supervise into the
+    #: corpus's commit log before each tick; empty = tail-only watcher
+    taps: Tuple[str, ...] = ()
+    #: supervision knobs shared by every tap (None = library defaults);
+    #: a :class:`repro.taps.TapConfig`
+    tap_config: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -110,6 +116,16 @@ class Study:
                                   "corpus directory (run Study.generate "
                                   "or `repro generate` first)")
         return cls(path)
+
+    @classmethod
+    def tap(cls, corpus_dir: Union[str, Path]) -> "Study":
+        """Handle to a tap corpus directory, existing or not yet begun.
+
+        Unlike :meth:`open` this performs no corpus-file checks: a tap
+        corpus starts empty and grows as ``watch``/``stream`` (with
+        :attr:`StreamOptions.taps` set) commit feed days into it.
+        """
+        return cls(Path(corpus_dir))
 
     @classmethod
     def generate(cls, corpus_dir: Union[str, Path], *,
@@ -169,7 +185,7 @@ class Study:
         fingerprints match :meth:`analyze` over the consumed prefix.
         """
         engine = self.watch(options=options)
-        engine.tick()
+        engine.tick(final=True)
         return engine.report(options.analyses)
 
     def watch(self, *, options: StreamOptions = StreamOptions()):
@@ -182,12 +198,24 @@ class Study:
         from repro.parallel.cache import ResultCache
         from repro.streaming import StreamEngine
 
+        session = None
+        if options.taps:
+            # bootstrap the tap corpus first: it creates the journal the
+            # engine insists on tailing
+            from repro.taps import TapConfig, TapSession
+
+            session = TapSession.open(
+                self.corpus_dir, options.taps,
+                config=options.tap_config or TapConfig())
         cache = ResultCache.for_corpus(self.corpus_dir) if options.cache \
             else None
-        return StreamEngine.open(self.corpus_dir, policy=options.policy,
-                                 delta=options.delta,
-                                 host_min_days=options.host_min_days,
-                                 cache=cache, fresh=options.fresh)
+        engine = StreamEngine.open(self.corpus_dir, policy=options.policy,
+                                   delta=options.delta,
+                                   host_min_days=options.host_min_days,
+                                   cache=cache, fresh=options.fresh)
+        if session is not None:
+            engine.attach_taps(session)
+        return engine
 
     def validate(self, *, cache_dir: Union[str, Path, None] = None,
                  ) -> ValidationReport:

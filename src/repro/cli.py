@@ -15,6 +15,8 @@ Eight subcommands mirror the library's layering::
     python -m repro watch corpus_dir [--interval 2] [--once]
                                      [--until-days N] [--max-ticks N]
                                      [--analyses a,b] [--no-cache] [--json]
+                                     [--tap [NAME=]FORMAT:PATH ...]
+                                     [--reset-stream]
     python -m repro advance corpus_dir --days 2
     python -m repro summary --scale 0.01 --days 14 [--json]
     python -m repro report t.jsonl
@@ -44,6 +46,16 @@ fingerprints a from-scratch batch ``analyze`` would produce for the
 consumed prefix; ``advance --days N`` extends a kept-segments corpus by
 N more days through the same commit log.
 
+Live feeds: ``watch --tap [NAME=]FORMAT:PATH`` supervises external BGP
+feeds (``mrt``, ``ris``, or ``exabgp`` format) into the watched corpus's
+commit log — stall watchdog, deterministic reconnect backoff, per-tap
+circuit breaker, bounded ingest queue, malformed-record quarantine under
+``.taps/`` — so foreign feeds are consumed exactly like kept day
+segments; a permanently dead tap degrades the session (reported
+per-tap) instead of failing it.  A corrupt stream checkpoint exits with
+its own code; ``watch --reset-stream`` discards it and re-consumes the
+commit log from day 0.
+
 Parallelism: ``--jobs N`` fans work across N forked workers (0 = all
 CPUs) — day segments for ``generate``, supervised analyses for
 ``analyze`` — with byte-identical results; ``--jobs 1`` (the default) is
@@ -62,7 +74,9 @@ instrumentation layer costs nothing.
 Exit codes: 0 success; 1 validation or analysis failures; 2 missing
 inputs or bad usage; 3 a corpus (or trace file) that could not be
 ingested at all; 4 an analysis run where *every* analysis completed but
-none on clean inputs (fully degraded — "success" CI should not trust).
+none on clean inputs (fully degraded — "success" CI should not trust);
+5 a corrupt/torn stream checkpoint (recover with ``watch
+--reset-stream``).
 """
 
 from __future__ import annotations
@@ -91,7 +105,9 @@ from repro.errors import (
     CheckpointError,
     FaultInjectionError,
     ReproError,
+    StreamCheckpointError,
     StreamError,
+    TapError,
     TelemetryError,
 )
 from repro.faults import FaultSpec, degrade_corpus_dir
@@ -105,6 +121,7 @@ EXIT_FAILURES = 1
 EXIT_USAGE = 2
 EXIT_UNREADABLE = 3
 EXIT_ALL_DEGRADED = 4
+EXIT_STREAM_CHECKPOINT = 5
 
 #: checkpoint journal for supervised/resumable ``analyze`` runs, kept in
 #: the corpus directory (dot-prefixed: excluded from manifests)
@@ -297,14 +314,40 @@ def _stream_exit_code(report) -> int:
     return EXIT_OK
 
 
+def _tap_session(args: argparse.Namespace, path: Path):
+    """Build the supervised tap session for ``watch --tap``, or None."""
+    if not args.tap:
+        return None
+    from repro.runtime.retry import RetryPolicy
+    from repro.taps import BackpressurePolicy, TapConfig, TapSession
+
+    config = TapConfig(
+        stall_timeout=args.tap_stall,
+        breaker_threshold=args.tap_breaker,
+        max_reconnects=args.tap_max_reconnects,
+        queue_capacity=args.tap_queue,
+        queue_policy=BackpressurePolicy(args.tap_queue_policy),
+        policy=ErrorPolicy.STRICT if args.strict else ErrorPolicy.COLLECT,
+        backoff=RetryPolicy(max_retries=0, backoff_base=args.tap_backoff,
+                            backoff_factor=2.0, backoff_max=60.0,
+                            jitter=0.5),
+        seed=args.tap_seed,
+        epoch=args.tap_epoch,
+    )
+    return TapSession.open(path, args.tap, config=config)
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.parallel.cache import ResultCache
-    from repro.streaming import StreamEngine
+    from repro.streaming import StreamEngine, reset_stream
 
     path = Path(args.corpus)
-    if not path.is_dir():
+    if not path.is_dir() and not args.tap:
         print(f"error: {path} is not a directory", file=sys.stderr)
         return EXIT_USAGE
+    if args.reset_stream and reset_stream(path) and not args.quiet:
+        print(f"stream checkpoint discarded; re-consuming {path} "
+              "from day 0", file=sys.stderr)
     policy = ErrorPolicy.STRICT if args.strict else ErrorPolicy.SKIP
     analyses = None
     if args.analyses:
@@ -327,16 +370,29 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     engine = None
     with telemetry.activate(telem):
         try:
+            session = _tap_session(args, path)
             engine = StreamEngine.open(path, policy=policy,
                                        host_min_days=args.host_min_days,
                                        cache=cache, fresh=args.fresh)
+            if session is not None:
+                engine.attach_taps(session)
             if args.once:
-                engine.tick()
+                engine.tick(final=True)
             else:
                 engine.watch(interval=args.interval,
                              max_ticks=args.max_ticks,
                              until_days=args.until_days)
             report = engine.report(analyses)
+        except StreamCheckpointError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: {exc}\nthe stream checkpoint is derived state; "
+                  "re-run with --reset-stream to discard it and re-consume "
+                  "the commit log from day 0", file=sys.stderr)
+            return EXIT_STREAM_CHECKPOINT
+        except TapError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         except StreamError as exc:
             _write_telemetry(telem, args, manifest, started)
             print(f"error: {exc}", file=sys.stderr)
@@ -616,6 +672,41 @@ def build_parser() -> argparse.ArgumentParser:
     wat.add_argument("--fresh", action="store_true",
                      help="ignore any existing stream checkpoint and "
                           "consume from day 0")
+    wat.add_argument("--reset-stream", action="store_true",
+                     help="discard a (possibly corrupt) stream checkpoint "
+                          "before opening, then re-consume from day 0")
+    wat.add_argument("--tap", action="append", default=[],
+                     metavar="[NAME=]FORMAT:PATH",
+                     help="supervise an external feed into the corpus's "
+                          "commit log (formats: mrt, ris, exabgp; "
+                          "repeatable)")
+    wat.add_argument("--tap-stall", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="tap stall-watchdog timeout (default 30)")
+    wat.add_argument("--tap-breaker", type=int, default=3, metavar="N",
+                     help="consecutive tap failures before its circuit "
+                          "breaker opens (default 3)")
+    wat.add_argument("--tap-max-reconnects", type=int, default=8,
+                     metavar="N",
+                     help="failed reconnect probes before a tap is declared "
+                          "dead (default 8)")
+    wat.add_argument("--tap-queue", type=int, default=100_000, metavar="N",
+                     help="per-tap bounded ingest queue capacity "
+                          "(default 100000)")
+    wat.add_argument("--tap-queue-policy", default="block",
+                     choices=["block", "drop-oldest", "fail"],
+                     help="backpressure when a tap queue fills (default "
+                          "block)")
+    wat.add_argument("--tap-backoff", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="base reconnect backoff delay (default 0.5)")
+    wat.add_argument("--tap-seed", type=int, default=0, metavar="N",
+                     help="seed of the deterministic reconnect jitter "
+                          "(default 0)")
+    wat.add_argument("--tap-epoch", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="feed timestamps are shifted by -EPOCH into "
+                          "corpus time (default 0)")
     wat.add_argument("--no-cache", action="store_true",
                      help="disable the corpus-local result cache for "
                           "non-incremental analyses")

@@ -255,8 +255,12 @@ def validate_corpus(corpus_dir: str | Path, *,
                 report.error("checksum-mismatch",
                              f"{name}: SHA-256 differs from manifest")
 
+    control_only = False
     try:
-        json.loads((corpus_dir / META_FILE).read_text())
+        meta = json.loads((corpus_dir / META_FILE).read_text())
+        # tap corpora ingest control-plane feeds only; their empty data
+        # plane is by construction, not a defect
+        control_only = bool(meta.get("tap_session"))
     except (OSError, ValueError) as exc:
         report.error("bad-metadata", f"{META_FILE} unreadable: {exc}")
 
@@ -286,7 +290,12 @@ def validate_corpus(corpus_dir: str | Path, *,
                 f"{DATA_FILE}: {data.ingest_report.skipped} of "
                 f"{data.ingest_report.total} records malformed")
         if len(data) == 0:
-            report.error("empty-corpus", f"{DATA_FILE}: no usable records")
+            if control_only:
+                report.warning("empty-data-plane",
+                               f"{DATA_FILE}: control-only tap corpus")
+            else:
+                report.error("empty-corpus",
+                             f"{DATA_FILE}: no usable records")
     except ReproError as exc:
         report.error("unreadable", f"{DATA_FILE}: {exc}")
 

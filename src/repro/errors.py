@@ -80,3 +80,29 @@ class StreamError(ReproError):
     regenerated underneath the watcher), or when ``advance`` is asked to
     extend a corpus whose provenance metadata is missing.
     """
+
+
+class StreamCheckpointError(StreamError):
+    """The stream checkpoint file itself is corrupt or torn.
+
+    Distinct from the other :class:`StreamError` cases because it has a
+    dedicated recovery path: the checkpoint is derived state, so ``repro
+    watch --reset-stream`` can discard it and re-consume the commit log
+    from day 0.  The CLI maps this to its own exit code so operators can
+    automate that recovery.
+    """
+
+    #: the operator-facing recovery command
+    recovery = "repro watch --reset-stream"
+
+
+class TapError(ReproError):
+    """A live-feed tap cannot be configured, read, or decoded.
+
+    Raised for unparseable ``--tap`` specs, unknown adapter formats, an
+    ingest queue overflowing under the ``fail`` backpressure policy, and
+    (under the ``strict`` error policy) the first malformed feed record.
+    Transient source failures — a vanished file, a stalled feed — are
+    *not* raised; the :class:`repro.taps.supervisor.TapSupervisor`
+    absorbs those into its reconnect/circuit-breaker lifecycle.
+    """

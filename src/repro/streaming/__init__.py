@@ -19,6 +19,7 @@ from repro.streaming.state import (
     STREAM_CHECKPOINT_FILE,
     StreamState,
     load_state,
+    reset_stream,
     save_state,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "TrafficReducer",
     "advance_corpus",
     "load_state",
+    "reset_stream",
     "save_state",
 ]

@@ -135,6 +135,8 @@ class StreamEngine:
         self._data_total = 0
         self._sampling_rate: Optional[int] = None
         self._data_cache: Optional[DataPlaneCorpus] = None
+        #: attached live-feed tap session (see :meth:`attach_taps`)
+        self._taps = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -157,6 +159,23 @@ class StreamEngine:
             if state is not None:
                 engine._restore(state)
         return engine
+
+    def attach_taps(self, session) -> None:
+        """Feed this watcher from a :class:`~repro.taps.session.TapSession`.
+
+        Each :meth:`tick` first pumps the session — polling every
+        supervised tap and committing completed days into this corpus's
+        journal — then tails the journal exactly as it would a
+        ``generate --keep-segments`` corpus.  The taps therefore cannot
+        bypass any streaming invariant: only committed days reach the
+        reducers, and the fingerprints still match a batch ``analyze``
+        of the same prefix.
+        """
+        self._taps = session
+
+    @property
+    def taps(self):
+        return self._taps
 
     @property
     def watermark_days(self) -> int:
@@ -234,15 +253,21 @@ class StreamEngine:
             day += 1
         return day
 
-    def tick(self) -> int:
+    def tick(self, *, final: bool = False) -> int:
         """Consume every newly committed day; returns how many.
 
         After each day the reducers have advanced and the stream
         checkpoint is durably on disk — the chaos kill point
         ``stream:day:NNN`` fires between days, and a watcher killed
         there resumes with that day already consumed.
+
+        With taps attached the tick first pumps them (``final=True``
+        drains the sources to EOF and flushes the partial tail day —
+        the ``--once`` semantics); without taps ``final`` is a no-op.
         """
         telem = telemetry.current()
+        if self._taps is not None:
+            self._taps.pump(final=final)
         journal = self._journal()
         committed = self._committed_days(journal)
         telem.gauge("stream.lag_days").set(committed - self.watermark_days)
@@ -486,7 +511,8 @@ class StreamEngine:
             corpus=str(self.corpus_dir),
             watermark_days=self.watermark_days,
             segments_consumed=self.segments_consumed,
-            study=study, modes=modes)
+            study=study, modes=modes,
+            taps=None if self._taps is None else self._taps.status())
 
     # -- the watch loop ------------------------------------------------------
 

@@ -36,6 +36,8 @@ class StreamReport:
     study: StudyReport = field(default_factory=StudyReport)
     #: analysis name -> "incremental" | "batch" | "cached"
     modes: Dict[str, str] = field(default_factory=dict)
+    #: tap name -> supervisor status dict (None: no taps attached)
+    taps: Optional[Dict[str, dict]] = None
 
     @property
     def ok(self) -> bool:
@@ -44,6 +46,17 @@ class StreamReport:
     @property
     def all_degraded(self) -> bool:
         return self.study.all_degraded
+
+    @property
+    def tap_degraded(self) -> bool:
+        """True when any attached tap died permanently this session.
+
+        A degraded session is still *live* — surviving taps keep
+        advancing the reducers — but operators must know the corpus
+        prefix no longer reflects every configured feed.
+        """
+        return bool(self.taps) and any(
+            entry.get("state") == "dead" for entry in self.taps.values())
 
     def fingerprints(self) -> Dict[str, Optional[str]]:
         """Per-analysis canonical value fingerprints (None for failures).
@@ -61,6 +74,10 @@ class StreamReport:
             "segments_consumed": self.segments_consumed,
             "modes": dict(self.modes),
         }
+        if self.taps is not None:
+            payload["stream"]["taps"] = {
+                name: dict(entry) for name, entry in self.taps.items()}
+            payload["stream"]["degraded"] = self.tap_degraded
         return payload
 
     def format(self) -> str:
@@ -82,4 +99,18 @@ class StreamReport:
             if o.error is not None:
                 line += f"  {o.error_type}: {o.error}"
             lines.append(line)
+        if self.taps:
+            lines.append("taps:" + (" DEGRADED" if self.tap_degraded
+                                    else ""))
+            width = max(len(name) for name in self.taps)
+            for name, entry in sorted(self.taps.items()):
+                line = (f"  {name.ljust(width)}  "
+                        f"{entry.get('state', '?'):12s}  "
+                        f"breaker={entry.get('breaker', '?')}  "
+                        f"ok={entry.get('records_ok', 0)}  "
+                        f"malformed={entry.get('records_malformed', 0)}  "
+                        f"reconnects={entry.get('reconnects', 0)}")
+                if entry.get("last_error"):
+                    line += f"  [{entry['last_error']}]"
+                lines.append(line)
         return "\n".join(lines)

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import StreamError
+from repro.errors import StreamCheckpointError, StreamError
 from repro.runtime import chaos
 from repro.runtime.atomic import atomic_write_text
 
@@ -83,7 +83,7 @@ class StreamState:
     @classmethod
     def from_json(cls, raw: dict) -> "StreamState":
         if raw.get("version") != STATE_VERSION:
-            raise StreamError(
+            raise StreamCheckpointError(
                 f"unsupported stream checkpoint version {raw.get('version')!r}"
                 f" (expected {STATE_VERSION})")
         try:
@@ -101,7 +101,8 @@ class StreamState:
                     control_sha256=str(entry["control_sha256"]),
                     data_sha256=str(entry["data_sha256"])))
         except (KeyError, TypeError, ValueError) as exc:
-            raise StreamError(f"corrupt stream checkpoint: {exc}") from exc
+            raise StreamCheckpointError(
+                f"corrupt stream checkpoint: {exc}") from exc
         return state
 
 
@@ -128,10 +129,13 @@ def load_state(corpus_dir: str | Path) -> Optional[StreamState]:
     """The persisted stream state, or None when none exists yet.
 
     An unreadable or truncated checkpoint raises
-    :class:`~repro.errors.StreamError`: unlike the torn-tail-tolerant
-    journal, this file is replaced atomically, so corruption means
-    something external happened to it and silently starting from scratch
-    would hide that.
+    :class:`~repro.errors.StreamCheckpointError`: unlike the
+    torn-tail-tolerant journal, this file is replaced atomically, so
+    corruption means something external happened to it and silently
+    starting from scratch would hide that.  The checkpoint is *derived*
+    state though, so recovery is always available:
+    :func:`reset_stream` (``repro watch --reset-stream``) discards it
+    and the watcher re-consumes the commit log from day 0.
     """
     path = checkpoint_path(corpus_dir)
     if not path.exists():
@@ -139,8 +143,27 @@ def load_state(corpus_dir: str | Path) -> Optional[StreamState]:
     try:
         raw = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
-        raise StreamError(f"{path}: unreadable stream checkpoint: {exc}"
-                          ) from exc
+        raise StreamCheckpointError(
+            f"{path}: unreadable stream checkpoint: {exc}") from exc
     if not isinstance(raw, dict):
-        raise StreamError(f"{path}: stream checkpoint is not an object")
+        raise StreamCheckpointError(
+            f"{path}: stream checkpoint is not an object")
     return StreamState.from_json(raw)
+
+
+def reset_stream(corpus_dir: str | Path) -> bool:
+    """Discard the stream checkpoint (the ``--reset-stream`` recovery).
+
+    Safe because the checkpoint only memoizes consumption of the
+    corpus's own committed segments; the next watcher rebuilds it from
+    day 0.  Returns whether a checkpoint existed.
+    """
+    path = checkpoint_path(corpus_dir)
+    try:
+        path.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError as exc:
+        raise StreamError(f"{path}: cannot remove stream checkpoint: {exc}"
+                          ) from exc

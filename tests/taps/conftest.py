@@ -1,0 +1,55 @@
+"""Shared fixtures for the tap suites: deterministic feed corpora and an
+injectable clock, so every fault path runs without sleeping or a network."""
+
+import pytest
+
+from repro.bgp.community import BLACKHOLE
+from repro.bgp.message import BGPUpdate, UpdateAction
+from repro.net.ip import IPv4Address, IPv4Prefix
+from repro.scenario.config import DAY
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for the stall watchdog."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def make_messages(days=2, per_day=12, peer_base=65001, peers=3,
+                  blackhole_every=2, start_day=0):
+    """A deterministic multi-day control-plane feed, RTBH traffic included
+    so the control-only analyses have events to chew on."""
+    messages = []
+    for day in range(start_day, start_day + days):
+        for i in range(per_day):
+            time = day * DAY + (i + 1) * (DAY / (per_day + 2))
+            communities = (frozenset([BLACKHOLE])
+                           if blackhole_every and i % blackhole_every == 0
+                           else frozenset())
+            messages.append(BGPUpdate(
+                time=time,
+                peer_asn=peer_base + (i % peers),
+                action=UpdateAction.ANNOUNCE,
+                prefix=IPv4Prefix(f"10.{day % 256}.{i % 256}.0/24"),
+                next_hop=IPv4Address("192.0.2.1"),
+                as_path=(peer_base + (i % peers),),
+                communities=communities))
+    return messages
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def messages():
+    return make_messages()

@@ -1,0 +1,32 @@
+"""Regenerate the committed tap-feed fixtures.
+
+The feeds are two deterministic synthetic days of RTBH-flavoured control
+traffic (see :func:`tests.taps.conftest.make_messages`) rendered once
+per adapter format.  CI's tap-smoke job and the CLI tests drive
+``repro watch --tap`` over these exact bytes, so regenerate only when
+the adapter wire formats deliberately change:
+
+    PYTHONPATH=src:. python tests/taps/fixtures/make_fixtures.py
+"""
+
+from pathlib import Path
+
+from repro.taps import write_feed
+from repro.taps.adapters import ADAPTERS
+from tests.taps.conftest import make_messages
+
+HERE = Path(__file__).resolve().parent
+
+SUFFIX = {"lines": ".jsonl", "mrt": ".mrt"}
+
+
+def main() -> None:
+    messages = make_messages(days=2)
+    for fmt, adapter_cls in sorted(ADAPTERS.items()):
+        suffix = SUFFIX[adapter_cls().framing]
+        path = write_feed(HERE / f"feed.{fmt}{suffix}", messages, fmt)
+        print(f"wrote {path.name} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

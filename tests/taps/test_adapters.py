@@ -1,0 +1,131 @@
+"""Adapter contract: every format round-trips through its own encoder,
+and every malformed record raises a reasoned TapError, never a crash."""
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import TapError
+from repro.taps.adapters import (
+    ADAPTERS,
+    MRT_HEADER,
+    MRT_MAX_FRAME,
+    MRT_SUBTYPE_MESSAGE_AS4,
+    MRT_TYPE_BGP4MP,
+    TapSpec,
+    parse_tap_spec,
+    write_feed,
+)
+from tests.taps.conftest import make_messages
+
+FORMATS = sorted(ADAPTERS)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_round_trip_through_own_encoder(fmt):
+    adapter = ADAPTERS[fmt]()
+    for msg in make_messages(days=1, per_day=8):
+        encoded = adapter.encode(msg)
+        if adapter.framing == "mrt":
+            # the reader strips the common header; decode sees the payload
+            encoded = encoded[MRT_HEADER.size:]
+        assert adapter.decode(encoded) == [msg]
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_write_feed_is_deterministic(fmt, tmp_path):
+    messages = make_messages(days=1, per_day=6)
+    a = write_feed(tmp_path / "a", messages, fmt).read_bytes()
+    b = write_feed(tmp_path / "b", messages, fmt).read_bytes()
+    assert a == b
+
+
+@pytest.mark.parametrize("fmt", ["ris", "exabgp"])
+@pytest.mark.parametrize("payload", [
+    "not json at all",
+    "[1, 2, 3]",
+    "{}",
+    json.dumps({"type": "UPDATE", "timestamp": "NaN", "peer_asn": 1}),
+])
+def test_malformed_lines_raise_tap_error(fmt, payload):
+    with pytest.raises(TapError):
+        ADAPTERS[fmt]().decode(payload)
+
+
+def test_ris_rejects_non_update_types():
+    with pytest.raises(TapError, match="unsupported RIS message type"):
+        ADAPTERS["ris"]().decode(json.dumps(
+            {"type": "RIS_PEER_STATE", "timestamp": 1.0}))
+
+
+def test_ris_withdrawal_round_trips():
+    adapter = ADAPTERS["ris"]()
+    raw = json.dumps({"type": "UPDATE", "timestamp": 42.0,
+                      "peer_asn": "65010", "path": [65010, 65020],
+                      "announcements": [], "withdrawals": ["10.1.2.0/24"]})
+    (msg,) = adapter.decode(raw)
+    assert not msg.is_announce
+    assert str(msg.prefix) == "10.1.2.0/24"
+    assert msg.time == 42.0
+
+
+def test_exabgp_multi_prefix_announce():
+    adapter = ADAPTERS["exabgp"]()
+    raw = json.dumps({
+        "exabgp": "4.2.0", "time": 7.0, "type": "update",
+        "neighbor": {"asn": {"peer": 65001}, "message": {"update": {
+            "attribute": {"as-path": [65001], "community": [[65535, 666]]},
+            "announce": {"ipv4 unicast": {
+                "192.0.2.9": [{"nlri": "10.0.0.0/24"},
+                              {"nlri": "10.0.1.0/24"}]}}}}}})
+    decoded = adapter.decode(raw)
+    assert [str(m.prefix) for m in decoded] == ["10.0.0.0/24", "10.0.1.0/24"]
+    assert all(any(c.value == 666 for c in m.communities) for m in decoded)
+
+
+def test_mrt_header_layout():
+    (msg,) = make_messages(days=1, per_day=1)
+    frame = ADAPTERS["mrt"]().encode(msg)
+    stamp, mrt_type, subtype, length = MRT_HEADER.unpack_from(frame)
+    assert (mrt_type, subtype) == (MRT_TYPE_BGP4MP, MRT_SUBTYPE_MESSAGE_AS4)
+    assert stamp == int(msg.time)
+    assert length == len(frame) - MRT_HEADER.size
+
+
+def test_mrt_rejects_garbage_payload():
+    with pytest.raises(TapError, match="undecodable MRT payload"):
+        ADAPTERS["mrt"]().decode(b"\xff\xfe\x00garbage")
+    with pytest.raises(TapError, match="bad MRT record"):
+        ADAPTERS["mrt"]().decode(json.dumps({"nope": 1}).encode())
+
+
+def test_mrt_max_frame_fits_header_field():
+    assert MRT_MAX_FRAME < 2**32
+    assert struct.calcsize(">IHHI") == MRT_HEADER.size == 12
+
+
+class TestSpecParsing:
+    def test_named_spec(self):
+        spec = parse_tap_spec("upstream=ris:/var/feeds/a.jsonl")
+        assert (spec.name, spec.format) == ("upstream", "ris")
+        assert str(spec.path) == "/var/feeds/a.jsonl"
+
+    def test_name_defaults_to_stem(self):
+        spec = parse_tap_spec("mrt:/var/feeds/dump.mrt")
+        assert spec.name == "dump"
+
+    @pytest.mark.parametrize("bad", [
+        "justapath", "ris:", "=ris:x", "nope:feed.jsonl",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(TapError):
+            parse_tap_spec(bad)
+
+    def test_unknown_format_names_the_known_ones(self):
+        with pytest.raises(TapError, match="exabgp"):
+            TapSpec("x", "bogus", "feed")
+
+    def test_write_feed_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(TapError):
+            write_feed(tmp_path / "x", [], "bogus")

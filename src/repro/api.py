@@ -86,6 +86,16 @@ class StreamOptions:
     #: supervision knobs shared by every tap (None = library defaults);
     #: a :class:`repro.taps.TapConfig`
     tap_config: Optional[object] = None
+    #: attach the live operations plane (``.obs/`` snapshots + event log)
+    #: and serve /metrics /healthz /readyz /status on this localhost port
+    #: (0 = ephemeral); None = no HTTP endpoint.  The plane itself is
+    #: attached whenever ``obs`` is True.
+    obs_port: Optional[int] = None
+    #: run the operations plane even without an HTTP endpoint
+    obs: bool = False
+    #: SLO thresholds the plane judges each tick against (None = library
+    #: defaults); a :class:`repro.obs.SLORules`
+    slo: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -215,6 +225,18 @@ class Study:
                                    cache=cache, fresh=options.fresh)
         if session is not None:
             engine.attach_taps(session)
+        if options.obs or options.obs_port is not None:
+            from repro import telemetry
+            from repro.obs import ObsPlane, SLORules
+
+            # the plane needs a collecting registry and event channel;
+            # API-driven sessions have no natural activate() scope, so
+            # install one process-globally iff the no-op default is live
+            telemetry.ensure_active()
+            plane = ObsPlane(self.corpus_dir,
+                             rules=options.slo or SLORules(),
+                             port=options.obs_port, command="watch")
+            engine.attach_obs(plane)
         return engine
 
     def validate(self, *, cache_dir: Union[str, Path, None] = None,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands mirror the library's layering::
+Nine subcommands mirror the library's layering::
 
     python -m repro generate --scale 0.02 --days 30 --out corpus_dir
                              [--resume] [--progress] [--jobs N]
@@ -16,8 +16,10 @@ Eight subcommands mirror the library's layering::
                                      [--until-days N] [--max-ticks N]
                                      [--analyses a,b] [--no-cache] [--json]
                                      [--tap [NAME=]FORMAT:PATH ...]
-                                     [--reset-stream]
-    python -m repro advance corpus_dir --days 2
+                                     [--reset-stream] [--obs-port N]
+                                     [--slo-lag-days N ...]
+    python -m repro status corpus_dir [--url URL] [--json]
+    python -m repro advance corpus_dir --days 2 [--json]
     python -m repro summary --scale 0.01 --days 14 [--json]
     python -m repro report t.jsonl
 
@@ -71,12 +73,22 @@ stage lines to stderr, and ``-q`` silences informational output.  Without
 any of these flags the no-op telemetry backend is active and the
 instrumentation layer costs nothing.
 
+Operations: every ``watch`` session runs the live operations plane —
+atomic state snapshots plus a severity-leveled JSONL event log under
+``<corpus>/.obs/``, SLO-evaluated health (lag, dead taps, quarantine
+rate, checkpoint staleness; tune with the ``--slo-*`` flags), and, with
+``--obs-port N``, a threaded HTTP endpoint serving ``/metrics``
+(Prometheus text), ``/healthz``, ``/readyz``, and ``/status``.
+``status`` renders the same verdict from the on-disk snapshot (or a
+live endpoint via ``--url``) and exits 0/4/5 for ok/degraded/unhealthy.
+
 Exit codes: 0 success; 1 validation or analysis failures; 2 missing
-inputs or bad usage; 3 a corpus (or trace file) that could not be
-ingested at all; 4 an analysis run where *every* analysis completed but
-none on clean inputs (fully degraded — "success" CI should not trust);
-5 a corrupt/torn stream checkpoint (recover with ``watch
---reset-stream``).
+inputs or bad usage; 3 a corpus (or trace file, or obs snapshot) that
+could not be ingested at all; 4 an analysis run where *every* analysis
+completed but none on clean inputs (fully degraded — "success" CI
+should not trust), or a degraded ``status`` verdict; 5 a corrupt/torn
+stream checkpoint (recover with ``watch --reset-stream``), or an
+unhealthy ``status`` verdict.
 """
 
 from __future__ import annotations
@@ -104,6 +116,8 @@ from repro.corpus.platform import load_platform
 from repro.errors import (
     CheckpointError,
     FaultInjectionError,
+    ObsError,
+    ObsSnapshotError,
     ReproError,
     StreamCheckpointError,
     StreamError,
@@ -337,7 +351,21 @@ def _tap_session(args: argparse.Namespace, path: Path):
     return TapSession.open(path, args.tap, config=config)
 
 
+def _slo_rules(args: argparse.Namespace):
+    """The SLO thresholds one watch session is judged against."""
+    from repro.obs import SLORules
+
+    checkpoint_age = args.slo_checkpoint_age
+    return SLORules(
+        max_lag_days=args.slo_lag_days,
+        max_dead_taps=args.slo_dead_taps,
+        max_quarantine_rate=args.slo_quarantine_rate,
+        max_checkpoint_age=(None if checkpoint_age is not None
+                            and checkpoint_age <= 0 else checkpoint_age))
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs import ObsPlane
     from repro.parallel.cache import ResultCache
     from repro.streaming import StreamEngine, reset_stream
 
@@ -361,6 +389,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_USAGE
     telem = _make_telemetry(args)
+    if not telem.enabled:
+        # the operations plane needs a collecting registry and event
+        # channel, so a watch session always runs under a real context —
+        # which also puts the metrics snapshot in every --json report
+        telem = telemetry.Telemetry()
     manifest = telemetry.run_manifest(
         "watch", corpus=str(path), policy=policy.value,
         config={"policy": policy.value,
@@ -368,6 +401,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     cache = None if args.no_cache else ResultCache.for_corpus(path)
     engine = None
+    plane = None
     with telemetry.activate(telem):
         try:
             session = _tap_session(args, path)
@@ -376,6 +410,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                                        cache=cache, fresh=args.fresh)
             if session is not None:
                 engine.attach_taps(session)
+            plane = ObsPlane(path, rules=_slo_rules(args),
+                             port=args.obs_port, command="watch")
+            engine.attach_obs(plane)
+            if plane.url is not None and not args.quiet:
+                print(f"obs endpoint listening on {plane.url} "
+                      "(/metrics /healthz /readyz /status)",
+                      file=sys.stderr)
             if args.once:
                 engine.tick(final=True)
             else:
@@ -390,6 +431,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                   "the commit log from day 0", file=sys.stderr)
             return EXIT_STREAM_CHECKPOINT
         except TapError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except ObsError as exc:
             _write_telemetry(telem, args, manifest, started)
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_USAGE
@@ -408,6 +453,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 print(f"watch interrupted at watermark day {watermark}",
                       file=sys.stderr)
             return EXIT_OK
+        finally:
+            if plane is not None:
+                plane.close()
     _write_telemetry(telem, args, manifest, started)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
@@ -424,6 +472,9 @@ def _cmd_advance(args: argparse.Namespace) -> int:
         print(f"error: {path} is not a directory", file=sys.stderr)
         return EXIT_USAGE
     telem = _make_telemetry(args)
+    if args.json and not telem.enabled:
+        # --json surfaces the metrics snapshot, so it needs a real context
+        telem = telemetry.Telemetry()
     manifest = telemetry.run_manifest("advance", corpus=str(path),
                                       config={"days": args.days})
     started = time.perf_counter()
@@ -439,9 +490,37 @@ def _cmd_advance(args: argparse.Namespace) -> int:
             print(f"error: cannot advance corpus: {exc}", file=sys.stderr)
             return EXIT_UNREADABLE
     _write_telemetry(telem, args, manifest, started)
-    if not args.quiet:
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    elif not args.quiet:
         print(report.format())
     return EXIT_OK
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        fetch_status,
+        load_snapshot,
+        render_status,
+        status_exit_code,
+    )
+
+    try:
+        if args.url:
+            document = fetch_status(args.url)
+        else:
+            document = load_snapshot(Path(args.corpus))
+    except ObsSnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_status(document))
+    return status_exit_code(document)
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -710,6 +789,26 @@ def build_parser() -> argparse.ArgumentParser:
     wat.add_argument("--no-cache", action="store_true",
                      help="disable the corpus-local result cache for "
                           "non-incremental analyses")
+    wat.add_argument("--obs-port", type=int, metavar="PORT",
+                     help="serve /metrics /healthz /readyz /status on "
+                          "127.0.0.1:PORT (0 = ephemeral, printed to "
+                          "stderr)")
+    wat.add_argument("--slo-lag-days", type=float, default=2.0,
+                     metavar="N",
+                     help="committed-but-unconsumed days before readiness "
+                          "degrades (default 2)")
+    wat.add_argument("--slo-dead-taps", type=int, default=0, metavar="N",
+                     help="permanently dead taps tolerated before "
+                          "readiness degrades (default 0; every tap dead "
+                          "is always unhealthy)")
+    wat.add_argument("--slo-quarantine-rate", type=float, default=0.10,
+                     metavar="RATE",
+                     help="malformed/total feed-record ratio tolerated "
+                          "(default 0.10)")
+    wat.add_argument("--slo-checkpoint-age", type=float, default=900.0,
+                     metavar="SECONDS",
+                     help="stream-checkpoint staleness tolerated "
+                          "(default 900; <= 0 disables the check)")
     wat.add_argument("--json", action="store_true",
                      help="machine-readable stream report on stdout")
     wat.add_argument("-q", "--quiet", action="store_true",
@@ -723,10 +822,26 @@ def build_parser() -> argparse.ArgumentParser:
                                     "'generate --keep-segments'")
     adv.add_argument("--days", type=int, required=True, metavar="N",
                      help="how many days to append")
+    adv.add_argument("--json", action="store_true",
+                     help="machine-readable advance report (with the "
+                          "metrics snapshot) on stdout")
     adv.add_argument("-q", "--quiet", action="store_true",
                      help="suppress informational output")
     add_telemetry_flags(adv)
     adv.set_defaults(func=_cmd_advance)
+
+    sta = sub.add_parser("status",
+                         help="render a watch session's operational state "
+                              "from its .obs snapshot (or a live "
+                              "endpoint)")
+    sta.add_argument("corpus", nargs="?", default=".",
+                     help="watched corpus directory (default: .)")
+    sta.add_argument("--url", metavar="URL",
+                     help="query a live session's obs endpoint instead of "
+                          "the on-disk snapshot")
+    sta.add_argument("--json", action="store_true",
+                     help="print the raw status document as JSON")
+    sta.set_defaults(func=_cmd_status)
 
     val = sub.add_parser("validate",
                          help="integrity-check a corpus directory")

@@ -96,6 +96,25 @@ class StreamCheckpointError(StreamError):
     recovery = "repro watch --reset-stream"
 
 
+class ObsError(ReproError):
+    """The live operations plane cannot serve, snapshot, or report.
+
+    Raised for unusable ``--obs-port`` bindings and for ``repro status``
+    against a corpus that has never run a watch session (no ``.obs/``
+    state to report from).
+    """
+
+
+class ObsSnapshotError(ObsError):
+    """The on-disk obs snapshot is corrupt, torn, or unversioned.
+
+    Snapshots are written atomically, so corruption means something
+    external happened to the file; ``repro status`` reports it as a
+    typed error (exit 3) instead of guessing at session health.  The
+    snapshot is derived state — the next watch tick rewrites it whole.
+    """
+
+
 class TapError(ReproError):
     """A live-feed tap cannot be configured, read, or decoded.
 

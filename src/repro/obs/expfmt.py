@@ -1,0 +1,124 @@
+"""Prometheus text exposition (format version 0.0.4), stdlib-only.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot` dict
+into the text format every Prometheus-compatible scraper ingests.  The
+registry's series strings (``name{key=value,...}``) are parsed back into
+name + labels, metric names are sanitized to the exposition charset
+(``[a-zA-Z_:][a-zA-Z0-9_:]*`` — dots become underscores), label values
+are escaped per the spec, and histograms are rendered as the canonical
+``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` buckets
+plus the snapshot's interpolated quantiles as ``{quantile="..."}``
+series (summary-style, so dashboards get p50/p90/p99 without PromQL
+``histogram_quantile`` over tiny bucket counts).
+
+This module is one of the shared components the future ``repro serve``
+API layer reuses — it depends only on the snapshot dict shape, not on
+any live registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map a registry metric name onto the exposition-format charset."""
+    name = _NAME_OK.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def parse_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry series string back into ``(name, labels)``."""
+    if "{" not in series:
+        return series, {}
+    name, _, inner = series.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in inner.rstrip("}").split(","):
+        if pair:
+            key, _, value = pair.partition("=")
+            labels[key] = value
+    return name, labels
+
+
+def _label_str(labels: Dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{sanitize_name(k)}="{escape_label_value(str(v))}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _value(v) -> str:
+    if v is None:
+        return "NaN"
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(float(v)) if isinstance(v, float) else str(v)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The complete ``/metrics`` payload for one registry snapshot.
+
+    Series are grouped per sanitized metric name so each gets exactly
+    one ``# TYPE`` line, as the format requires; within a group the
+    registry's sorted-series order is preserved.
+    """
+    groups: Dict[str, List[str]] = {}
+    types: Dict[str, str] = {}
+
+    def add(series: str, kind: str, render, suffix: str = "") -> None:
+        raw_name, labels = parse_series(series)
+        name = sanitize_name(raw_name) + suffix
+        types.setdefault(name, kind)
+        groups.setdefault(name, []).extend(render(name, labels))
+
+    # counters carry the conventional _total suffix (on both the TYPE
+    # line and the sample, so the classic 0.0.4 parser groups them)
+    for series, value in snapshot.get("counters", {}).items():
+        add(series, "counter",
+            lambda name, labels, v=value:
+            [f"{name}{_label_str(labels)} {_value(v)}"], suffix="_total")
+    for series, value in snapshot.get("gauges", {}).items():
+        add(series, "gauge",
+            lambda name, labels, v=value:
+            [f"{name}{_label_str(labels)} {_value(v)}"])
+    for series, summary in snapshot.get("histograms", {}).items():
+        add(series, "histogram",
+            lambda name, labels, s=summary: _histogram_lines(name, labels, s))
+
+    lines: List[str] = []
+    for name in sorted(groups):
+        lines.append(f"# TYPE {name} {types[name]}")
+        lines.extend(groups[name])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _histogram_lines(name: str, labels: Dict[str, str],
+                     summary: dict) -> List[str]:
+    lines: List[str] = []
+    for le, cumulative in summary.get("buckets", {"+Inf": 0}).items():
+        lines.append(f"{name}_bucket{_label_str(labels, le=le)} "
+                     f"{cumulative}")
+    for quantile in ("p50", "p90", "p99"):
+        if quantile in summary:
+            q = f"0.{quantile[1:].rstrip('0') or '5'}"
+            lines.append(f"{name}{_label_str(labels, quantile=q)} "
+                         f"{_value(summary[quantile])}")
+    lines.append(f"{name}_sum{_label_str(labels)} "
+                 f"{_value(summary.get('sum', 0.0))}")
+    lines.append(f"{name}_count{_label_str(labels)} "
+                 f"{summary.get('count', 0)}")
+    return lines

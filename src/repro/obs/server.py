@@ -1,0 +1,172 @@
+"""The stdlib-only threaded HTTP exposition endpoint (``--obs-port``).
+
+One :class:`ObsServer` serves four routes from a thread-safe
+:class:`StatePublisher`:
+
+====================  ======================================================
+``/metrics``          Prometheus text exposition (0.0.4) of the session's
+                      metrics registry
+``/healthz``          liveness — 200 as long as the process serves at all
+``/readyz``           readiness — the SLO verdict; 200 when ``ok``,
+                      503 with the JSON reasons when degraded/unhealthy
+``/status``           the full snapshot document (same shape as
+                      ``.obs/snapshot.json``), consumed by
+                      ``repro status --url``
+====================  ======================================================
+
+Design constraint: the rest of the package is deliberately
+single-threaded, so request handlers never touch live engine or
+telemetry objects.  The watch loop *publishes* an immutable rendering —
+pre-serialized metrics text plus the snapshot document — once per tick,
+and handler threads only ever read the latest published cell under a
+lock.  Staleness is therefore bounded by the tick interval, and no lock
+is ever held across engine work.  The server is a shared component: the
+future ``repro serve`` query API mounts the same publisher/handler
+machinery over reducer-state views.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import ObsError
+from repro.obs.expfmt import render_prometheus
+from repro.obs.slo import STATE_OK
+
+#: content type the Prometheus text parser expects
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class StatePublisher:
+    """Latest-value cell shared between the watch loop and handlers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics_text = ""
+        self._document: dict = {}
+
+    def publish(self, document: dict) -> None:
+        """Install a new snapshot document (and render its metrics)."""
+        metrics_text = render_prometheus(document.get("metrics") or {})
+        with self._lock:
+            self._document = document
+            self._metrics_text = metrics_text
+
+    @property
+    def metrics_text(self) -> str:
+        with self._lock:
+            return self._metrics_text
+
+    @property
+    def document(self) -> dict:
+        with self._lock:
+            return self._document
+
+    @property
+    def health(self) -> dict:
+        with self._lock:
+            health = self._document.get("health")
+        return health if isinstance(health, dict) else {
+            "state": STATE_OK, "reasons": [], "checks": []}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+    publisher: StatePublisher  # class attribute installed per server
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if route == "/metrics":
+            self._respond(200, METRICS_CONTENT_TYPE,
+                          self.publisher.metrics_text.encode("utf-8"))
+        elif route == "/healthz":
+            self._respond(200, "text/plain; charset=utf-8", b"ok\n")
+        elif route == "/readyz":
+            health = self.publisher.health
+            code = 200 if health.get("state") == STATE_OK else 503
+            self._respond(code, "application/json",
+                          json.dumps(health).encode("utf-8"))
+        elif route == "/status":
+            self._respond(200, "application/json",
+                          json.dumps(self.publisher.document,
+                                     sort_keys=True).encode("utf-8"))
+        else:
+            self._respond(404, "text/plain; charset=utf-8",
+                          f"no such route {route!r}; try /metrics, "
+                          f"/healthz, /readyz, /status\n".encode("utf-8"))
+
+    def _respond(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes poll every few seconds; stderr must stay usable
+
+
+class ObsServer:
+    """The threaded exposition server; binds lazily via :meth:`start`."""
+
+    def __init__(self, publisher: StatePublisher, *,
+                 port: int = 0, host: str = "127.0.0.1"):
+        self.publisher = publisher
+        self.requested_port = int(port)
+        self.host = host
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``--obs-port 0`` to the real one)."""
+        if self._httpd is None:
+            raise ObsError("obs server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        if self._httpd is not None:
+            return self
+        handler = type("ObsHandler", (_Handler,),
+                       {"publisher": self.publisher})
+        try:
+            httpd = ThreadingHTTPServer((self.host, self.requested_port),
+                                        handler)
+        except OSError as exc:
+            raise ObsError(
+                f"cannot bind obs endpoint on {self.host}:"
+                f"{self.requested_port}: {exc}") from exc
+        httpd.daemon_threads = True
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-obs-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

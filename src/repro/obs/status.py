@@ -1,0 +1,111 @@
+"""``repro status``: one look at a watch session, live or post-mortem.
+
+The status document is the obs snapshot — read from
+``<corpus>/.obs/snapshot.json`` (works after the session was SIGKILLed;
+that is the point) or fetched from a live session's ``/status`` endpoint
+with ``--url``.  Either way the SLO verdict shown is the one the session
+itself computed, so ``status`` never re-judges stale data against
+different rules; it *reports*, and its exit code (0 ok / 4 degraded /
+5 unhealthy) makes the verdict scriptable.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import List
+
+from repro.core.report import format_table
+from repro.errors import ObsError, ObsSnapshotError
+from repro.obs.slo import EXIT_CODES, STATE_OK, Health
+from repro.obs.snapshot import SNAPSHOT_VERSION, snapshot_age_seconds
+
+
+def fetch_status(url: str, *, timeout: float = 5.0) -> dict:
+    """The ``/status`` document of a live session at ``url``.
+
+    ``url`` may be the endpoint root (``http://127.0.0.1:9100``) or the
+    full ``/status`` route; anything unreachable or non-JSON raises
+    :class:`~repro.errors.ObsError` /
+    :class:`~repro.errors.ObsSnapshotError`.
+    """
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/status"):
+        url = url.rstrip("/") + "/status"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            raw = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError) as exc:
+        raise ObsError(f"{url}: cannot reach live obs endpoint: {exc}"
+                       ) from exc
+    except ValueError as exc:
+        raise ObsSnapshotError(f"{url}: endpoint returned non-JSON status: "
+                               f"{exc}") from exc
+    if not isinstance(raw, dict):
+        raise ObsSnapshotError(f"{url}: status document is not an object")
+    if raw.get("version") != SNAPSHOT_VERSION:
+        raise ObsSnapshotError(
+            f"{url}: unsupported status version {raw.get('version')!r} "
+            f"(expected {SNAPSHOT_VERSION})")
+    return raw
+
+
+def status_exit_code(document: dict) -> int:
+    """0 ok / 4 degraded / 5 unhealthy, from the document's own verdict."""
+    state = (document.get("health") or {}).get("state", STATE_OK)
+    return EXIT_CODES.get(state, EXIT_CODES[STATE_OK])
+
+
+def render_status(document: dict) -> str:
+    """The human-readable status view; ``--json`` bypasses this."""
+    health = Health.from_json(document.get("health") or {})
+    lines: List[str] = []
+    age = snapshot_age_seconds(document)
+    head = (f"{document.get('command', 'watch')} session on "
+            f"{document.get('corpus', '?')}: {health.state.upper()}")
+    if age is not None:
+        head += f"  (snapshot {age:.0f}s old)"
+    lines.append(head)
+    for reason in health.reasons:
+        lines.append(f"  ! {reason}")
+
+    lines.append(
+        f"watermark day {document.get('watermark_days', '?')} of "
+        f"{document.get('committed_days', '?')} committed "
+        f"(lag {document.get('lag_days', '?')} day(s)); "
+        f"{document.get('ticks_observed', '?')} tick(s) observed")
+
+    if health.checks:
+        rows = [[c.name, c.state,
+                 "-" if c.value is None else f"{c.value:g}",
+                 "-" if c.threshold is None else f"{c.threshold:g}",
+                 c.detail]
+                for c in health.checks]
+        lines.append("")
+        lines.append(format_table(
+            ["check", "state", "value", "threshold", "detail"], rows,
+            title="SLO checks:"))
+
+    taps = document.get("taps")
+    if taps:
+        rows = []
+        for name, entry in sorted(taps.items()):
+            rows.append([
+                name, entry.get("state", "?"), entry.get("breaker", "?"),
+                entry.get("records_ok", 0),
+                entry.get("records_malformed", 0),
+                entry.get("reconnects", 0),
+                entry.get("last_error") or ""])
+        lines.append("")
+        lines.append(format_table(
+            ["tap", "state", "breaker", "ok", "malformed", "reconnects",
+             "last_error"], rows, title="taps:"))
+
+    events_logged = document.get("events_logged")
+    if events_logged is not None:
+        lines.append("")
+        lines.append(f"{events_logged} event(s) logged this session "
+                     "(.obs/events.jsonl)")
+    return "\n".join(lines)

@@ -116,6 +116,8 @@ class CheckpointJournal:
         with telem.span("checkpoint.commit", key=key):
             self._append(entry)
         telem.counter("checkpoint.commits").inc()
+        telem.event("checkpoint.commit", severity="debug", key=key,
+                    journal=self.path.name)
         self._entries[key] = entry
         chaos.maybe_kill(f"commit:{key}")
         return entry

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -65,6 +65,22 @@ class AdvanceReport:
     records_dropped: int = 0
     control_messages: int = 0
     data_packets: int = 0
+    #: metrics snapshot from the active telemetry context, when one was
+    #: collecting (the ``advance --json`` surface)
+    telemetry: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {
+            "out_dir": self.out_dir,
+            "days_added": self.days_added,
+            "day_count": self.day_count,
+            "segments_written": self.segments_written,
+            "segments_skipped": self.segments_skipped,
+            "records_dropped": self.records_dropped,
+            "control_messages": self.control_messages,
+            "data_packets": self.data_packets,
+            "telemetry": self.telemetry,
+        }
 
     def format(self) -> str:
         line = (f"advanced {self.out_dir}/ by {self.days_added} day(s) to "
@@ -198,6 +214,11 @@ def advance_corpus(corpus_dir: str | Path, days: int) -> AdvanceReport:
 
     with telem.span("advance.finalize"):
         _refinalize(out, seg_dir, journal, new_days, meta, report)
+    telem.event("stream.advanced", out=str(out), days_added=days,
+                day_count=new_days,
+                segments_written=report.segments_written)
+    if telem.enabled:
+        report.telemetry = telem.metrics_snapshot()
     return report
 
 

@@ -63,6 +63,7 @@ from repro.streaming.report import (
     StreamReport,
 )
 from repro.streaming.state import (
+    STREAM_CHECKPOINT_FILE,
     ConsumedDay,
     StreamState,
     load_state,
@@ -137,6 +138,8 @@ class StreamEngine:
         self._data_cache: Optional[DataPlaneCorpus] = None
         #: attached live-feed tap session (see :meth:`attach_taps`)
         self._taps = None
+        #: attached operations plane (see :meth:`attach_obs`)
+        self._obs = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -176,6 +179,21 @@ class StreamEngine:
     @property
     def taps(self):
         return self._taps
+
+    def attach_obs(self, plane) -> None:
+        """Report into an :class:`~repro.obs.plane.ObsPlane` every tick.
+
+        At the end of each :meth:`tick` the engine hands the plane its
+        :meth:`obs_sample`; the plane evaluates the SLO rules over it,
+        appends any transition events, flushes the ``.obs/snapshot.json``
+        document, and feeds the HTTP endpoint.  The engine itself never
+        blocks on (or even knows about) HTTP handlers.
+        """
+        self._obs = plane
+
+    @property
+    def obs(self):
+        return self._obs
 
     @property
     def watermark_days(self) -> int:
@@ -288,10 +306,47 @@ class StreamEngine:
                 save_state(self.corpus_dir, self.state())
                 consumed += 1
                 telem.counter("stream.segments_consumed").inc(2)
+                telem.event("stream.day_consumed", day=day,
+                            watermark=self.watermark_days,
+                            control_sha256=control_sha[:12],
+                            data_sha256=data_sha[:12])
             sp.attrs["consumed_days"] = consumed
         telem.gauge("stream.lag_days").set(
             self._committed_days(journal) - self.watermark_days)
+        if self._obs is not None:
+            self._obs.observe(self.obs_sample())
         return consumed
+
+    def obs_sample(self) -> dict:
+        """The operational sample the obs plane judges and publishes.
+
+        A plain dict — watermark/commit-log position, checkpoint
+        staleness, per-tap status, and the full metrics snapshot — so the
+        SLO evaluator stays a pure function and the snapshot document is
+        self-contained for ``repro status`` after the process dies.
+        """
+        telem = telemetry.current()
+        try:
+            committed = self._committed_days(self._journal())
+        except StreamError:
+            committed = 0
+        sample: dict = {
+            "corpus": str(self.corpus_dir),
+            "watermark_days": self.watermark_days,
+            "committed_days": committed,
+            "lag_days": committed - self.watermark_days,
+            "metrics": telem.metrics_snapshot() if telem.enabled else {},
+        }
+        checkpoint = self.corpus_dir / STREAM_CHECKPOINT_FILE
+        try:
+            sample["checkpoint_age_seconds"] = max(
+                0.0, time.time() - checkpoint.stat().st_mtime)
+        except OSError:
+            pass  # nothing persisted yet — not applicable, not a failure
+        if self._taps is not None:
+            sample["taps"] = self._taps.status()
+            sample["taps_degraded"] = self._taps.degraded
+        return sample
 
     def _segment_path(self, plane: str, day: int) -> Path:
         path = self.corpus_dir / SEGMENT_DIR / _segment_name(plane, day)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional
 
+from repro import telemetry
 from repro.errors import StreamCheckpointError, StreamError
 from repro.runtime import chaos
 from repro.runtime.atomic import atomic_write_text
@@ -120,6 +121,9 @@ def save_state(corpus_dir: str | Path, state: StreamState) -> Path:
     """
     path = checkpoint_path(corpus_dir)
     atomic_write_text(path, json.dumps(state.to_json()))
+    telemetry.current().event(
+        "stream.checkpoint_saved", severity="debug",
+        days=len(state.consumed))
     if state.consumed:
         chaos.maybe_kill(f"stream:day:{state.consumed[-1].day:03d}")
     return path

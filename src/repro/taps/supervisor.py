@@ -436,8 +436,11 @@ class TapSupervisor:
                                    reason, payload=payload)
         self.records_malformed += 1
         self.last_error = reason
-        telemetry.current().counter("tap.records", tap=self.name,
-                                    outcome="malformed").inc()
+        telem = telemetry.current()
+        telem.counter("tap.records", tap=self.name,
+                      outcome="malformed").inc()
+        telem.event("tap.quarantined", severity="warning", tap=self.name,
+                    reason=reason, payload=payload[:200])
 
     def _flush_quarantine(self) -> None:
         """Persist newly quarantined payloads to the sidecar (atomic
@@ -474,6 +477,9 @@ class TapSupervisor:
         if self.breaker is not BreakerState.CLOSED:
             self._transition_breaker(BreakerState.CLOSED)
             self._backoff.reset()
+            telemetry.current().event(
+                "tap.recovered", tap=self.name,
+                reconnects=self.reconnects)
         self.state = TapState.LIVE
         self.last_error = None
 
@@ -493,7 +499,11 @@ class TapSupervisor:
         if self._backoff.attempt >= self.config.max_reconnects:
             self.state = TapState.DEAD
             self._transition_breaker(BreakerState.OPEN)
-            telemetry.current().counter("tap.dead", tap=self.name).inc()
+            telem = telemetry.current()
+            telem.counter("tap.dead", tap=self.name).inc()
+            telem.event("tap.dead", severity="error", tap=self.name,
+                        reason=self.last_error,
+                        reconnects=self.reconnects)
             return
         self._open_until = now + self._backoff.next_delay()
         self._transition_breaker(BreakerState.OPEN)
@@ -504,8 +514,13 @@ class TapSupervisor:
             return
         if to is BreakerState.OPEN:
             self.breaker_opens += 1
-        telemetry.current().counter("tap.breaker", tap=self.name,
-                                    to=to.value).inc()
+        telem = telemetry.current()
+        telem.counter("tap.breaker", tap=self.name, to=to.value).inc()
+        telem.event(
+            "tap.breaker",
+            severity="warning" if to is BreakerState.OPEN else "info",
+            tap=self.name, from_state=self.breaker.value,
+            to_state=to.value, last_error=self.last_error)
         self.breaker = to
 
     # -- reporting -----------------------------------------------------------

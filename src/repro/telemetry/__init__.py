@@ -31,9 +31,10 @@ is process-global, not thread-local.
 from __future__ import annotations
 
 import json
+import time as _time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.telemetry.manifest import config_hash, git_revision, run_manifest
 from repro.telemetry.metrics import (
@@ -48,22 +49,84 @@ from repro.telemetry.trace import NullTracer, Span, Tracer, peak_rss_kb
 
 __all__ = [
     "Counter",
+    "EventChannel",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL",
     "NullTelemetry",
+    "SEVERITIES",
     "Span",
     "Telemetry",
     "Tracer",
     "activate",
     "config_hash",
     "current",
+    "ensure_active",
+    "events",
     "git_revision",
     "peak_rss_kb",
     "run_manifest",
     "series_key",
 ]
+
+#: event severities, in escalation order (used by sinks to filter)
+SEVERITIES = ("debug", "info", "warning", "error")
+
+
+class EventChannel:
+    """The structured operational event stream of one telemetry context.
+
+    Where metrics answer "how much" and spans answer "how long", events
+    answer "what happened": breaker transitions, tap deaths and
+    revivals, day commits, checkpoint writes, SLO state changes.  Each
+    :meth:`emit` produces one flat JSON-serializable record —
+    ``{"kind", "severity", "time", ...fields}`` — buffered in order and
+    fanned out to every subscribed sink (the obs plane subscribes its
+    JSONL event log; tests subscribe lists).  A sink that raises does
+    not disturb the emitting call site: operational logging must never
+    take down the operation it logs.
+    """
+
+    #: cap on the in-memory buffer; long-running watch sessions rely on
+    #: the subscribed sinks (which rotate), not on this buffer
+    MAX_BUFFER = 10_000
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+        self._sinks: List[Callable[[dict], None]] = []
+
+    def subscribe(self, sink: Callable[[dict], None]) -> None:
+        self._sinks.append(sink)
+
+    def unsubscribe(self, sink: Callable[[dict], None]) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def emit(self, kind: str, *, severity: str = "info",
+             **fields: Any) -> dict:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown event severity {severity!r} "
+                             f"(expected one of {SEVERITIES})")
+        record: Dict[str, Any] = {"kind": kind, "severity": severity,
+                                  "time": _time.time(), **fields}
+        self.records.append(record)
+        if len(self.records) > self.MAX_BUFFER:
+            del self.records[:len(self.records) - self.MAX_BUFFER]
+        for sink in self._sinks:
+            try:
+                sink(record)
+            except Exception:  # noqa: BLE001 — see docstring
+                pass
+        return record
+
+
+class _NullEventChannel(EventChannel):
+    """Disabled events: nothing buffered, nothing fanned out."""
+
+    def emit(self, kind: str, *, severity: str = "info",
+             **fields: Any) -> dict:
+        return {"kind": kind, "severity": severity}
 
 
 class Telemetry:
@@ -78,6 +141,7 @@ class Telemetry:
     def __init__(self, progress: Optional[Callable[[str], None]] = None):
         self.registry = MetricsRegistry()
         self.tracer = Tracer(on_close=self._on_span_close if progress else None)
+        self.events = EventChannel()
         self._progress = progress
 
     # -- instrumentation surface (what call sites use) ----------------------
@@ -93,6 +157,11 @@ class Telemetry:
 
     def span(self, name: str, **attrs: Any):
         return self.tracer.span(name, **attrs)
+
+    def event(self, kind: str, *, severity: str = "info",
+              **fields: Any) -> dict:
+        """Emit one structured operational event (see :class:`EventChannel`)."""
+        return self.events.emit(kind, severity=severity, **fields)
 
     # -- progress rendering -------------------------------------------------
 
@@ -142,6 +211,7 @@ class NullTelemetry(Telemetry):
     def __init__(self) -> None:
         self.registry = NullRegistry()
         self.tracer = NullTracer()
+        self.events = _NullEventChannel()
         self._progress = None
 
 
@@ -153,6 +223,28 @@ _current: Telemetry = NULL
 
 def current() -> Telemetry:
     """The active telemetry context (the no-op :data:`NULL` by default)."""
+    return _current
+
+
+def events() -> EventChannel:
+    """The active context's event channel (no-op under :data:`NULL`)."""
+    return _current.events
+
+
+def ensure_active() -> Telemetry:
+    """A *collecting* context for the rest of the process.
+
+    Long-running sessions (``repro watch`` with the operations plane,
+    ``Study.watch`` with obs options) need a real registry and event
+    channel with no natural ``with activate(...)`` scope to wrap them
+    in.  This installs a fresh :class:`Telemetry` process-globally iff
+    the no-op default is still active, and returns whatever context ends
+    up current — so it composes with an explicit ``activate`` block
+    instead of fighting it.
+    """
+    global _current
+    if _current is NULL:
+        _current = Telemetry()
     return _current
 
 

@@ -16,7 +16,8 @@ per site (see :mod:`repro.telemetry`).
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
 
 
 def series_key(name: str, labels: Dict[str, str]) -> str:
@@ -54,21 +55,39 @@ class Gauge:
         self.value += float(amount)
 
 
-class Histogram:
-    """Streaming summary of observations: count, sum, min, max, mean.
+#: default histogram bucket upper bounds, tuned for the seconds-scale
+#: timings this layer records (sub-millisecond ticks up to minute-long
+#: analyses); the implicit final bucket is +Inf
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
 
-    Full bucketing is overkill for the per-analysis timings this layer
-    records (tens of observations per run); the summary is exact and
-    constant-size.
+#: the quantiles every snapshot reports
+SNAPSHOT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """Bucketed summary of observations: count, sum, min, max, buckets.
+
+    Buckets are cumulative Prometheus-style upper bounds (the last,
+    implicit bound is +Inf), cheap enough for hot paths — one bisect per
+    observation — and sufficient for the p50/p90/p99 estimates
+    :meth:`quantile` interpolates.  The exact min/max/sum stay alongside
+    so the summary statistics remain exact regardless of bucket layout.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "bounds", "bucket_counts")
 
-    def __init__(self) -> None:
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        # one slot per finite bound plus the +Inf overflow bucket;
+        # non-cumulative per-bucket counts (snapshot cumulates)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -78,10 +97,46 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        The rank is located in the cumulative bucket counts and
+        interpolated linearly inside its bucket, with the estimate
+        clamped to the exactly-tracked ``[min, max]`` — so single-bucket
+        histograms still report sane values and the +Inf bucket never
+        yields an infinite quantile.  Returns None for an empty
+        histogram or a ``q`` outside ``(0, 1]``.
+        """
+        if not self.count or not 0.0 < q <= 1.0:
+            return None
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if n:
+                if running + n >= rank:
+                    fraction = (rank - running) / n
+                    estimate = lower + (bound - lower) * fraction
+                    return min(max(estimate, self.min), self.max)
+                running += n
+            lower = bound
+        return self.max  # rank falls in the +Inf overflow bucket
 
 
 class _NullCounter(Counter):
@@ -155,6 +210,12 @@ class MetricsRegistry:
                 "min": inst.min if inst.count else None,
                 "max": inst.max if inst.count else None,
                 "mean": inst.mean,
+                "buckets": {
+                    ("+Inf" if math.isinf(bound) else f"{bound:g}"): total
+                    for bound, total in inst.cumulative_buckets()
+                },
+                **{f"p{int(q * 100)}": inst.quantile(q)
+                   for q in SNAPSHOT_QUANTILES},
             }
         return {
             "counters": dict(sorted(counters.items())),

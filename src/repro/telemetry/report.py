@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.report import format_table
 from repro.errors import TelemetryError
+from repro.telemetry.metrics import Histogram
 
 
 @dataclass
@@ -77,15 +78,20 @@ class _Agg:
     seconds: float = 0.0
     rss_kb: int = 0
     errors: int = 0
+    #: per-span-name duration distribution, for the p50/p90/p99 columns
+    durations: Histogram = field(default_factory=Histogram)
 
 
 def aggregate_spans(trace: TraceFile) -> Dict[str, _Agg]:
-    """Per span name: count, total seconds, peak-RSS growth, errors."""
+    """Per span name: count, total seconds, peak-RSS growth, errors,
+    and the duration distribution (bucketed, for quantile estimates)."""
     out: Dict[str, _Agg] = {}
     for span in trace.spans:
         agg = out.setdefault(span["name"], _Agg())
         agg.count += 1
-        agg.seconds += float(span["seconds"])
+        seconds = float(span["seconds"])
+        agg.seconds += seconds
+        agg.durations.observe(seconds)
         agg.rss_kb += int(span.get("rss_delta_kb") or 0)
         if span.get("error"):
             agg.errors += 1
@@ -131,18 +137,21 @@ def render_report(trace: TraceFile) -> str:
     rows = []
     for name, agg in sorted(aggregates.items(),
                             key=lambda kv: -kv[1].seconds):
+        quantiles = [agg.durations.quantile(q) for q in (0.5, 0.9, 0.99)]
         rows.append([
             name,
             agg.count,
             f"{agg.seconds:.3f}",
             f"{agg.seconds / agg.count:.3f}",
+            *(("-" if q is None else f"{q:.3f}") for q in quantiles),
             f"{100.0 * agg.seconds / total:.1f}%",
             f"{agg.rss_kb / 1024:.1f}",
             agg.errors or "",
         ])
     if rows:
         lines.append(format_table(
-            ["span", "count", "total_s", "mean_s", "share", "rss_mb", "err"],
+            ["span", "count", "total_s", "mean_s", "p50_s", "p90_s",
+             "p99_s", "share", "rss_mb", "err"],
             rows, title=f"spans ({len(trace.spans)} recorded):"))
 
     throughput = _throughput_rows(trace)

@@ -1,0 +1,25 @@
+"""Obs-suite fixture: a private copy of the shared kept-segments corpus
+(same contract as the streaming suite's — stripped of stream/obs state
+so every test starts from watermark zero)."""
+
+import shutil
+
+import pytest
+
+from repro.obs.snapshot import OBS_DIR
+from repro.streaming import STREAM_CHECKPOINT_FILE
+
+
+@pytest.fixture()
+def corpus(stream_corpus, tmp_path):
+    target = tmp_path / "corpus"
+    shutil.copytree(stream_corpus, target)
+    for leftover in (STREAM_CHECKPOINT_FILE,):
+        path = target / leftover
+        if path.exists():
+            path.unlink()
+    for directory in (".cache", OBS_DIR):
+        path = target / directory
+        if path.is_dir():
+            shutil.rmtree(path)
+    return target

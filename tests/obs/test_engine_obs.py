@@ -1,0 +1,111 @@
+"""Engine ↔ obs plane integration: the acceptance contract end to end.
+
+During a live session the plane's in-memory verdict, the ``/readyz``
+verdict, and the on-disk snapshot's verdict must be the same object —
+so after the process dies (simulated here by simply not closing
+anything), ``repro status`` reproduces the verdict from disk.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.obs import ObsPlane, SLORules, load_snapshot, read_events
+from repro.obs.snapshot import events_path, snapshot_path
+from repro.streaming import StreamEngine
+
+
+@pytest.fixture()
+def telem():
+    with telemetry.activate(telemetry.Telemetry()) as t:
+        yield t
+
+
+class TestEngineIntegration:
+    def test_tick_observes_and_snapshots(self, corpus, telem):
+        engine = StreamEngine.open(corpus)
+        plane = ObsPlane(corpus)
+        engine.attach_obs(plane)
+        consumed = engine.tick()
+        assert consumed == 3
+        raw = load_snapshot(corpus)
+        assert raw["watermark_days"] == 3
+        assert raw["committed_days"] == 3
+        assert raw["lag_days"] == 0
+        assert raw["health"]["state"] == "ok"
+        assert raw["metrics"]["counters"][
+            "stream.segments_consumed"] == 6
+        assert raw["checkpoint_age_seconds"] >= 0.0
+
+    def test_day_consumed_events_logged(self, corpus, telem):
+        engine = StreamEngine.open(corpus)
+        engine.attach_obs(ObsPlane(corpus))
+        engine.tick()
+        events, skipped = read_events(events_path(corpus))
+        assert skipped == 0
+        days = [e["day"] for e in events
+                if e["kind"] == "stream.day_consumed"]
+        assert days == [0, 1, 2]
+
+    def test_status_reproduces_live_verdict_after_death(self, corpus,
+                                                        telem, capsys):
+        engine = StreamEngine.open(corpus)
+        plane = ObsPlane(corpus, rules=SLORules(max_lag_days=0.5))
+        engine.attach_obs(plane)
+        engine.tick()
+        live_verdict = plane.last_health.state
+        # process "dies" here: no close(), no flush — the snapshot must
+        # already carry the identical verdict
+        exit_code = main(["status", str(corpus), "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["health"]["state"] == live_verdict
+        assert exit_code == plane.last_health.exit_code
+
+    def test_obs_sample_without_taps_has_no_tap_keys(self, corpus, telem):
+        engine = StreamEngine.open(corpus)
+        engine.tick()
+        sample = engine.obs_sample()
+        assert "taps" not in sample
+        assert sample["watermark_days"] == 3
+
+
+class TestWatchCli:
+    def test_watch_once_with_obs_port(self, corpus, capsys):
+        exit_code = main(["watch", str(corpus), "--once",
+                          "--obs-port", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "obs endpoint listening on http://127.0.0.1:" \
+            in captured.err
+        assert snapshot_path(corpus).exists()
+        assert main(["status", str(corpus)]) == 0
+
+    def test_watch_json_carries_metrics_snapshot(self, corpus, capsys):
+        exit_code = main(["watch", str(corpus), "--once", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry"] is not None
+        assert payload["telemetry"]["counters"][
+            "stream.segments_consumed"] == 6
+        assert payload["stream"]["watermark_days"] == 3
+
+    def test_watch_obs_port_conflict_is_usage_error(self, corpus, capsys):
+        from repro.obs import ObsServer, StatePublisher
+
+        with ObsServer(StatePublisher(), port=0) as srv:
+            exit_code = main(["watch", str(corpus), "--once",
+                              "--obs-port", str(srv.port), "-q"])
+        assert exit_code == 2
+        assert "cannot bind obs endpoint" in capsys.readouterr().err
+
+    def test_advance_json_carries_telemetry(self, corpus, capsys):
+        exit_code = main(["advance", str(corpus), "--days", "1",
+                          "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["day_count"] == 4
+        assert payload["telemetry"] is not None
+        assert "advance.segments{plane=control}" in \
+            payload["telemetry"]["counters"]

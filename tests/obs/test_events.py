@@ -1,0 +1,128 @@
+"""Event channel, JSONL event log rotation, torn-tail tolerant reads."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.obs.events import EventLogWriter, iter_event_files, read_events
+
+
+class TestEventChannel:
+    def test_emit_buffers_and_fans_out(self):
+        channel = telemetry.EventChannel()
+        seen = []
+        channel.subscribe(seen.append)
+        record = channel.emit("tap.dead", severity="error", tap="a")
+        assert record["kind"] == "tap.dead"
+        assert record["severity"] == "error"
+        assert record["tap"] == "a" and "time" in record
+        assert channel.records == [record] and seen == [record]
+
+    def test_sink_exception_does_not_disturb_emitter(self):
+        channel = telemetry.EventChannel()
+
+        def bad_sink(record):
+            raise RuntimeError("sink died")
+
+        seen = []
+        channel.subscribe(bad_sink)
+        channel.subscribe(seen.append)
+        channel.emit("x")
+        assert len(seen) == 1
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry.EventChannel().emit("x", severity="fatal")
+
+    def test_buffer_bounded(self):
+        channel = telemetry.EventChannel()
+        channel.MAX_BUFFER = 5
+        for i in range(12):
+            channel.emit("tick", i=i)
+        assert len(channel.records) == 5
+        assert channel.records[-1]["i"] == 11
+
+    def test_null_channel_is_free(self):
+        record = telemetry.NULL.event("x", severity="error", detail="y")
+        assert record == {"kind": "x", "severity": "error"}
+        assert telemetry.NULL.events.records == []
+
+
+class TestEventLogWriter:
+    def test_appends_jsonl(self, tmp_path):
+        log = EventLogWriter(tmp_path / "events.jsonl")
+        log({"kind": "a", "severity": "info"})
+        log({"kind": "b", "severity": "warning"})
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert [json.loads(l)["kind"] for l in lines] == ["a", "b"]
+        assert log.written == 2
+
+    def test_min_severity_filter(self, tmp_path):
+        log = EventLogWriter(tmp_path / "e.jsonl", min_severity="warning")
+        log({"kind": "quiet", "severity": "debug"})
+        log({"kind": "loud", "severity": "error"})
+        lines = (tmp_path / "e.jsonl").read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["kind"] == "loud"
+
+    def test_rotation_chain(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLogWriter(path, max_bytes=200, backups=2)
+        for i in range(40):
+            log({"kind": "tick", "severity": "info", "i": i})
+        assert log.rotations > 0
+        files = iter_event_files(path, backups=2)
+        assert files[-1] == path and len(files) >= 2
+        # every surviving file stays under the cap plus one record
+        for file in files:
+            assert file.stat().st_size < 200 + 100
+        events, skipped = read_events(path, backups=2)
+        assert skipped == 0
+        indices = [e["i"] for e in events]
+        assert indices == sorted(indices)  # oldest-first across the chain
+        assert indices[-1] == 39
+
+    def test_rotation_drops_oldest_generation(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLogWriter(path, max_bytes=120, backups=1)
+        for i in range(60):
+            log({"kind": "tick", "severity": "info", "i": i})
+        events, _ = read_events(path, backups=1)
+        assert events[0]["i"] > 0  # head of the stream was retired
+
+
+class TestTornTail:
+    def test_torn_tail_is_skipped_with_accounting(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLogWriter(path)
+        log({"kind": "good", "severity": "info"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "torn", "sev')  # crash mid-append
+        events, skipped = read_events(path)
+        assert [e["kind"] for e in events] == ["good"]
+        assert skipped == 1
+
+    def test_torn_tail_on_rotated_generation(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLogWriter(path, max_bytes=10_000, backups=2)
+        log({"kind": "old", "severity": "info"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": ')
+        # force a rotation so the torn tail rides into e.jsonl.1
+        log.max_bytes = 1
+        log({"kind": "new", "severity": "info"})
+        assert log.rotated_path(1).exists()
+        events, skipped = read_events(path)
+        assert [e["kind"] for e in events] == ["old", "new"]
+        assert skipped == 1
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('[1, 2]\n{"kind": "ok", "severity": "info"}\n')
+        events, skipped = read_events(path)
+        assert [e["kind"] for e in events] == ["ok"]
+        assert skipped == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        events, skipped = read_events(tmp_path / "never.jsonl")
+        assert events == [] and skipped == 0

@@ -1,0 +1,92 @@
+"""Prometheus text exposition of the metrics snapshot."""
+
+from repro.obs.expfmt import (
+    escape_label_value,
+    parse_series,
+    render_prometheus,
+    sanitize_name,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.counter("stream.segments_consumed").inc(6)
+    reg.counter("tap.records", tap="ris-a", outcome="ok").inc(40)
+    reg.counter("tap.records", tap="ris-a", outcome="malformed").inc(2)
+    reg.gauge("stream.lag_days").set(1.0)
+    for v in (0.01, 0.02, 0.5):
+        reg.histogram("pipeline.analysis_seconds", name="fig3_load"
+                      ).observe(v)
+    return reg.snapshot()
+
+
+class TestHelpers:
+    def test_sanitize_name(self):
+        assert sanitize_name("stream.lag_days") == "stream_lag_days"
+        assert sanitize_name("9tap-x") == "_9tap_x"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_parse_series(self):
+        name, labels = parse_series("tap.records{outcome=ok,tap=a}")
+        assert name == "tap.records"
+        assert labels == {"outcome": "ok", "tap": "a"}
+        assert parse_series("plain") == ("plain", {})
+
+
+class TestRender:
+    def test_counters_get_total_suffix_consistently(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE stream_segments_consumed_total counter" in text
+        assert "stream_segments_consumed_total 6" in text
+        # TYPE line name must equal the sample name (0.0.4 contract)
+        for line in text.splitlines():
+            if line.startswith("# TYPE") and "counter" in line:
+                declared = line.split()[2]
+                assert any(sample.startswith(declared)
+                           for sample in text.splitlines()
+                           if not sample.startswith("#"))
+
+    def test_labels_rendered(self):
+        text = render_prometheus(_snapshot())
+        assert ('tap_records_total{outcome="ok",tap="ris-a"} 40'
+                in text)
+        assert ('tap_records_total{outcome="malformed",tap="ris-a"} 2'
+                in text)
+
+    def test_gauge(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE stream_lag_days gauge" in text
+        assert "stream_lag_days 1" in text
+
+    def test_histogram_buckets_sum_count_quantiles(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE pipeline_analysis_seconds histogram" in text
+        assert ('pipeline_analysis_seconds_bucket{le="+Inf",'
+                'name="fig3_load"} 3') in text
+        assert ('pipeline_analysis_seconds_count{name="fig3_load"} 3'
+                in text)
+        assert 'pipeline_analysis_seconds_sum{name="fig3_load"}' in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.99"' in text
+
+    def test_bucket_counts_cumulative(self):
+        text = render_prometheus(_snapshot())
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("pipeline_analysis_seconds_bucket")]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_one_type_line_per_metric(self):
+        text = render_prometheus(_snapshot())
+        type_lines = [l for l in text.splitlines()
+                      if l.startswith("# TYPE tap_records_total")]
+        assert len(type_lines) == 1
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({}) == ""
+        assert render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}) == ""

@@ -1,0 +1,113 @@
+"""The threaded HTTP endpoint: routes, readiness flips, bind errors."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.server import METRICS_CONTENT_TYPE, ObsServer, StatePublisher
+from repro.obs.slo import SLORules, evaluate
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+@pytest.fixture()
+def server():
+    publisher = StatePublisher()
+    with ObsServer(publisher, port=0) as srv:
+        yield publisher, srv
+
+
+def _document(publisher, sample):
+    health = evaluate(sample, SLORules())
+    registry = MetricsRegistry()
+    registry.counter("stream.segments_consumed").inc(4)
+    publisher.publish({**sample, "health": health.to_json(),
+                       "metrics": registry.snapshot(), "version": 1})
+
+
+class TestRoutes:
+    def test_metrics_content_type_and_payload(self, server):
+        publisher, srv = server
+        _document(publisher, {"lag_days": 0})
+        status, headers, body = _get(srv.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == METRICS_CONTENT_TYPE
+        assert b"stream_segments_consumed_total 4" in body
+
+    def test_healthz_always_ok(self, server):
+        publisher, srv = server
+        status, _, body = _get(srv.url + "/healthz")
+        assert status == 200 and body == b"ok\n"
+
+    def test_readyz_ok(self, server):
+        publisher, srv = server
+        _document(publisher, {"lag_days": 0})
+        status, _, body = _get(srv.url + "/readyz")
+        assert status == 200
+        assert json.loads(body)["state"] == "ok"
+
+    def test_readyz_degrades_with_the_next_publish(self, server):
+        publisher, srv = server
+        _document(publisher, {"lag_days": 0,
+                              "taps": {"a": {"state": "live"},
+                                       "b": {"state": "live"}}})
+        assert _get(srv.url + "/readyz")[0] == 200
+        # one tap dies: the very next published sample flips readiness
+        _document(publisher, {"lag_days": 0,
+                              "taps": {"a": {"state": "dead"},
+                                       "b": {"state": "live"}}})
+        status, _, body = _get(srv.url + "/readyz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["state"] == "degraded"
+        assert any("dead" in r for r in payload["reasons"])
+
+    def test_status_serves_full_document(self, server):
+        publisher, srv = server
+        _document(publisher, {"lag_days": 1, "watermark_days": 2})
+        status, _, body = _get(srv.url + "/status")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["watermark_days"] == 2
+        assert payload["health"]["state"] == "ok"
+
+    def test_unknown_route_404(self, server):
+        _, srv = server
+        status, _, body = _get(srv.url + "/nope")
+        assert status == 404
+        assert b"/metrics" in body
+
+    def test_unpublished_state_serves_empty(self, server):
+        _, srv = server
+        assert _get(srv.url + "/metrics")[0] == 200
+        assert _get(srv.url + "/readyz")[0] == 200  # vacuously ready
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved(self, server):
+        _, srv = server
+        assert srv.port > 0
+        assert srv.url == f"http://127.0.0.1:{srv.port}"
+
+    def test_bind_conflict_raises_typed_error(self, server):
+        publisher, srv = server
+        with pytest.raises(ObsError) as err:
+            ObsServer(StatePublisher(), port=srv.port).start()
+        assert "cannot bind obs endpoint" in str(err.value)
+
+    def test_stop_is_idempotent_and_port_unavailable_after(self):
+        srv = ObsServer(StatePublisher(), port=0).start()
+        srv.stop()
+        srv.stop()
+        with pytest.raises(ObsError):
+            srv.port

@@ -1,0 +1,108 @@
+"""SLO evaluation: pure verdicts over operational samples."""
+
+import pytest
+
+from repro.obs.slo import (
+    EXIT_CODES,
+    STATE_DEGRADED,
+    STATE_OK,
+    STATE_UNHEALTHY,
+    Health,
+    SLORules,
+    evaluate,
+)
+
+
+def _tap(state="live", ok=100, malformed=0):
+    return {"state": state, "records_ok": ok, "records_malformed": malformed}
+
+
+class TestEvaluate:
+    def test_empty_sample_is_ok(self):
+        health = evaluate({})
+        assert health.state == STATE_OK
+        assert health.checks == [] and health.reasons == []
+        assert health.ready and health.exit_code == 0
+
+    def test_lag_within_threshold(self):
+        health = evaluate({"lag_days": 1})
+        assert health.state == STATE_OK
+        assert health.checks[0].name == "stream.lag_days"
+
+    def test_lag_degrades_then_unhealthy(self):
+        rules = SLORules(max_lag_days=2.0, unhealthy_factor=3.0)
+        assert evaluate({"lag_days": 3}, rules).state == STATE_DEGRADED
+        assert evaluate({"lag_days": 7}, rules).state == STATE_UNHEALTHY
+
+    def test_one_dead_tap_of_two_degrades(self):
+        sample = {"taps": {"a": _tap("dead"), "b": _tap("live")}}
+        health = evaluate(sample)
+        assert health.state == STATE_DEGRADED
+        assert any("a" in r for r in health.reasons)
+
+    def test_all_taps_dead_is_unhealthy(self):
+        sample = {"taps": {"a": _tap("dead"), "b": _tap("dead")}}
+        assert evaluate(sample).state == STATE_UNHEALTHY
+
+    def test_dead_tap_budget(self):
+        rules = SLORules(max_dead_taps=1)
+        sample = {"taps": {"a": _tap("dead"), "b": _tap("live")}}
+        assert evaluate(sample, rules).state == STATE_OK
+
+    def test_quarantine_rate(self):
+        sample = {"taps": {"a": _tap(ok=80, malformed=20)}}
+        health = evaluate(sample, SLORules(max_quarantine_rate=0.10))
+        check = {c.name: c for c in health.checks}["taps.quarantine_rate"]
+        assert check.value == pytest.approx(0.2)
+        assert check.state == STATE_DEGRADED
+
+    def test_quarantine_rate_unhealthy_beyond_factor(self):
+        sample = {"taps": {"a": _tap(ok=50, malformed=50)}}
+        health = evaluate(sample, SLORules(max_quarantine_rate=0.10,
+                                           unhealthy_factor=3.0))
+        assert health.state == STATE_UNHEALTHY
+
+    def test_checkpoint_age(self):
+        rules = SLORules(max_checkpoint_age=900.0)
+        assert evaluate({"checkpoint_age_seconds": 100}, rules
+                        ).state == STATE_OK
+        assert evaluate({"checkpoint_age_seconds": 1000}, rules
+                        ).state == STATE_DEGRADED
+
+    def test_checkpoint_age_disabled(self):
+        rules = SLORules(max_checkpoint_age=None)
+        health = evaluate({"checkpoint_age_seconds": 99999}, rules)
+        assert health.state == STATE_OK
+        assert health.checks == []
+
+    def test_worst_check_wins(self):
+        sample = {"lag_days": 1,
+                  "taps": {"a": _tap("dead"), "b": _tap("dead")}}
+        health = evaluate(sample)
+        assert health.state == STATE_UNHEALTHY
+        assert len(health.checks) >= 2
+
+
+class TestSerialization:
+    def test_health_round_trips(self):
+        sample = {"lag_days": 5, "taps": {"a": _tap("dead"),
+                                          "b": _tap("live")}}
+        health = evaluate(sample)
+        restored = Health.from_json(health.to_json())
+        assert restored.state == health.state
+        assert restored.reasons == health.reasons
+        assert [c.name for c in restored.checks] == \
+            [c.name for c in health.checks]
+
+    def test_rules_round_trip(self):
+        rules = SLORules(max_lag_days=1.0, max_dead_taps=2,
+                         max_checkpoint_age=None)
+        assert SLORules.from_json(rules.to_json()) == rules
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            Health.from_json({"state": "sideways"})
+
+    def test_exit_codes(self):
+        assert EXIT_CODES == {STATE_OK: 0, STATE_DEGRADED: 4,
+                              STATE_UNHEALTHY: 5}

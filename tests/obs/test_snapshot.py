@@ -1,0 +1,73 @@
+"""Atomic obs snapshots: write/load round trip and typed failure modes."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError, ObsSnapshotError
+from repro.obs.snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    snapshot_age_seconds,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = write_snapshot(tmp_path, {"watermark_days": 3,
+                                         "lag_days": 0})
+        assert path == snapshot_path(tmp_path)
+        raw = load_snapshot(tmp_path)
+        assert raw["version"] == SNAPSHOT_VERSION
+        assert raw["watermark_days"] == 3
+        assert snapshot_age_seconds(raw) is not None
+        assert snapshot_age_seconds(raw) < 60.0
+
+    def test_rewrite_replaces(self, tmp_path):
+        write_snapshot(tmp_path, {"tick": 1})
+        write_snapshot(tmp_path, {"tick": 2})
+        assert load_snapshot(tmp_path)["tick"] == 2
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        write_snapshot(tmp_path, {"tick": 1})
+        leftovers = [p for p in snapshot_path(tmp_path).parent.iterdir()
+                     if p.name != snapshot_path(tmp_path).name]
+        assert leftovers == []
+
+
+class TestFailureModes:
+    def test_never_watched_corpus_is_typed_guidance(self, tmp_path):
+        with pytest.raises(ObsError) as err:
+            load_snapshot(tmp_path)
+        assert "never run a watch session" in str(err.value)
+        # the generic ObsError, NOT the corrupt-snapshot subtype
+        assert not isinstance(err.value, ObsSnapshotError)
+
+    def test_truncated_snapshot(self, tmp_path):
+        write_snapshot(tmp_path, {"watermark_days": 3})
+        path = snapshot_path(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ObsSnapshotError):
+            load_snapshot(tmp_path)
+
+    def test_non_object_snapshot(self, tmp_path):
+        write_snapshot(tmp_path, {})
+        snapshot_path(tmp_path).write_text("[1, 2, 3]")
+        with pytest.raises(ObsSnapshotError):
+            load_snapshot(tmp_path)
+
+    def test_unversioned_snapshot(self, tmp_path):
+        write_snapshot(tmp_path, {})
+        path = snapshot_path(tmp_path)
+        raw = json.loads(path.read_text())
+        raw["version"] = 99
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ObsSnapshotError) as err:
+            load_snapshot(tmp_path)
+        assert "99" in str(err.value)
+
+    def test_age_of_unstamped_document(self):
+        assert snapshot_age_seconds({}) is None
+        assert snapshot_age_seconds({"written_at": "yesterday"}) is None

@@ -80,6 +80,61 @@ class TestRegistry:
         assert "seconds{name=fig2}" in reg.snapshot()["histograms"]
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram()
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.99) is None
+
+    def test_q_outside_unit_interval(self):
+        h = Histogram()
+        h.observe(1.0)
+        assert h.quantile(0.0) is None
+        assert h.quantile(1.5) is None
+        assert h.quantile(-0.1) is None
+
+    def test_single_observation_clamps_to_exact_value(self):
+        h = Histogram()
+        h.observe(0.7)
+        for q in (0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.7)
+
+    def test_interpolation_is_monotone_and_bounded(self):
+        h = Histogram()
+        for i in range(1, 101):
+            h.observe(i / 100.0)  # 0.01 .. 1.00
+        p50, p90, p99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+        assert 0.01 <= p50 <= p90 <= p99 <= 1.0
+        assert p50 == pytest.approx(0.5, abs=0.26)  # bucket resolution
+        assert p90 == pytest.approx(0.9, abs=0.26)
+
+    def test_overflow_bucket_reports_exact_max(self):
+        h = Histogram()
+        h.observe(1000.0)  # beyond the largest finite bound
+        h.observe(2000.0)
+        assert h.quantile(0.99) == 2000.0
+
+    def test_cumulative_buckets_end_at_inf_with_total(self):
+        h = Histogram()
+        for v in (0.002, 0.2, 40.0):
+            h.observe(v)
+        buckets = h.cumulative_buckets()
+        bound, total = buckets[-1]
+        assert bound == float("inf") and total == 3
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative → non-decreasing
+
+    def test_snapshot_carries_buckets_and_quantiles(self):
+        reg = MetricsRegistry()
+        for v in (0.01, 0.02, 5.0):
+            reg.histogram("h").observe(v)
+        summary = reg.snapshot()["histograms"]["h"]
+        assert summary["buckets"]["+Inf"] == 3
+        assert set(summary["buckets"]) > {"0.001", "1", "+Inf"}
+        assert summary["p50"] is not None
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+
 class TestNullRegistry:
     def test_shared_noop_instruments(self):
         reg = NullRegistry()

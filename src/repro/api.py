@@ -1,4 +1,4 @@
-"""The stable public facade: one object, five verbs.
+"""The stable public facade: one object, six verbs.
 
 Everything the CLI can do is reachable programmatically through
 :class:`Study` without touching the internal layering::
@@ -96,6 +96,11 @@ class StreamOptions:
     #: SLO thresholds the plane judges each tick against (None = library
     #: defaults); a :class:`repro.obs.SLORules`
     slo: Optional[object] = None
+    #: run a quick integrity scrub every N ticks, surfacing damage
+    #: through the obs plane (None disables)
+    scrub_every: Optional[int] = None
+    #: bound the result cache: LRU-evict entries past this many bytes
+    cache_max_bytes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -217,12 +222,14 @@ class Study:
             session = TapSession.open(
                 self.corpus_dir, options.taps,
                 config=options.tap_config or TapConfig())
-        cache = ResultCache.for_corpus(self.corpus_dir) if options.cache \
-            else None
+        cache = ResultCache.for_corpus(
+            self.corpus_dir, max_bytes=options.cache_max_bytes) \
+            if options.cache else None
         engine = StreamEngine.open(self.corpus_dir, policy=options.policy,
                                    delta=options.delta,
                                    host_min_days=options.host_min_days,
-                                   cache=cache, fresh=options.fresh)
+                                   cache=cache, fresh=options.fresh,
+                                   scrub_every=options.scrub_every)
         if session is not None:
             engine.attach_taps(session)
         if options.obs or options.obs_port is not None:
@@ -243,3 +250,26 @@ class Study:
                  ) -> ValidationReport:
         """Integrity-check the corpus directory (checksums + counts)."""
         return validate_corpus(self.corpus_dir, cache_dir=cache_dir)
+
+    def doctor(self, *, repair: bool = False, deep: bool = True,
+               cache_dir: Union[str, Path, None] = None):
+        """Scrub the corpus's durable state; optionally heal it.
+
+        With ``repair=False`` (the default) this is read-only and
+        returns the :class:`~repro.doctor.DamageReport`.  With
+        ``repair=True`` every damage found is repaired from redundancy
+        (idempotently, under the doctor's own journal) and the
+        :class:`~repro.doctor.RepairReport` comes back with a
+        verification re-scrub attached as ``verified``.
+        """
+        from repro.doctor import repair_corpus, scrub_corpus
+
+        report = scrub_corpus(self.corpus_dir, deep=deep,
+                              cache_dir=cache_dir)
+        if not repair:
+            return report
+        outcome = repair_corpus(self.corpus_dir, report, deep=deep,
+                                cache_dir=cache_dir)
+        outcome.verified = scrub_corpus(self.corpus_dir, deep=deep,
+                                        cache_dir=cache_dir)
+        return outcome

@@ -1,16 +1,19 @@
 """Command-line interface.
 
-Nine subcommands mirror the library's layering::
+Ten subcommands mirror the library's layering::
 
     python -m repro generate --scale 0.02 --days 30 --out corpus_dir
                              [--resume] [--progress] [--jobs N]
                              [--keep-segments]
     python -m repro validate corpus_dir [--json] [--cache-dir DIR]
+    python -m repro doctor corpus_dir [--repair] [--quick] [--json]
+                                      [--cache-dir DIR]
     python -m repro inject corpus_dir --out degraded_dir --fault drop:0.1
     python -m repro analyze corpus_dir [--strict | --lenient] [--json]
                                        [--supervised --timeout 300
                                         --retries 2] [--resume]
                                        [--jobs N] [--cache-dir DIR]
+                                       [--cache-max-bytes N]
                                        [--trace t.jsonl --metrics m.json]
     python -m repro watch corpus_dir [--interval 2] [--once]
                                      [--until-days N] [--max-ticks N]
@@ -18,6 +21,7 @@ Nine subcommands mirror the library's layering::
                                      [--tap [NAME=]FORMAT:PATH ...]
                                      [--reset-stream] [--obs-port N]
                                      [--slo-lag-days N ...]
+                                     [--scrub-every N]
     python -m repro status corpus_dir [--url URL] [--json]
     python -m repro advance corpus_dir --days 2 [--json]
     python -m repro summary --scale 0.01 --days 14 [--json]
@@ -82,13 +86,29 @@ rate, checkpoint staleness; tune with the ``--slo-*`` flags), and, with
 ``status`` renders the same verdict from the on-disk snapshot (or a
 live endpoint via ``--url``) and exits 0/4/5 for ok/degraded/unhealthy.
 
-Exit codes: 0 success; 1 validation or analysis failures; 2 missing
+Self-healing: ``doctor`` scrubs every durable artifact a corpus
+directory carries — journals, day segments, corpus files, manifest,
+stream checkpoint, cache entries, obs state, tap offset sidecars —
+against the redundancy the state plane records (checksums in journal
+commits, finalize entries, and the manifest) and reports typed damage;
+``doctor --repair`` heals what redundancy covers (truncate torn
+journals, regenerate synthetic segments, re-slice tap segments from the
+finalized files, rebuild manifests and stream checkpoints, evict
+drifted cache entries) and quarantines the rest under
+``.doctor.quarantine/``; ``watch`` runs the quick scrub periodically in
+the background (``--scrub-every``), degrading readiness on damage.
+``--cache-max-bytes`` bounds the result cache by LRU eviction.
+
+Exit codes: 0 success; 1 validation or analysis failures, or a damaged
+(``doctor``) / unrepaired (``doctor --repair``) corpus; 2 missing
 inputs or bad usage; 3 a corpus (or trace file, or obs snapshot) that
 could not be ingested at all; 4 an analysis run where *every* analysis
 completed but none on clean inputs (fully degraded — "success" CI
 should not trust), or a degraded ``status`` verdict; 5 a corrupt/torn
 stream checkpoint (recover with ``watch --reset-stream``), or an
-unhealthy ``status`` verdict.
+unhealthy ``status`` verdict; 6 a live obs endpoint (``status --url``)
+that cannot be reached at all (connection refused/DNS/timeout — the
+session is probably not running).
 """
 
 from __future__ import annotations
@@ -115,9 +135,11 @@ from repro.corpus.manifest import (
 from repro.corpus.platform import load_platform
 from repro.errors import (
     CheckpointError,
+    DoctorError,
     FaultInjectionError,
     ObsError,
     ObsSnapshotError,
+    ObsUnreachableError,
     ReproError,
     StreamCheckpointError,
     StreamError,
@@ -136,6 +158,7 @@ EXIT_USAGE = 2
 EXIT_UNREADABLE = 3
 EXIT_ALL_DEGRADED = 4
 EXIT_STREAM_CHECKPOINT = 5
+EXIT_OBS_UNREACHABLE = 6
 
 #: checkpoint journal for supervised/resumable ``analyze`` runs, kept in
 #: the corpus directory (dot-prefixed: excluded from manifests)
@@ -263,8 +286,10 @@ def _analyze_cache(args: argparse.Namespace, path: Path):
         print(f"warning: {path}/{MANIFEST_FILE} missing or unusable; "
               "result caching disabled for this run", file=sys.stderr)
         return None, None
-    cache = (ResultCache(args.cache_dir) if args.cache_dir
-             else ResultCache.for_corpus(path))
+    max_bytes = getattr(args, "cache_max_bytes", None)
+    cache = (ResultCache(args.cache_dir, max_bytes=max_bytes)
+             if args.cache_dir
+             else ResultCache.for_corpus(path, max_bytes=max_bytes))
     return cache, digest
 
 
@@ -399,7 +424,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         config={"policy": policy.value,
                 "host_min_days": args.host_min_days})
     started = time.perf_counter()
-    cache = None if args.no_cache else ResultCache.for_corpus(path)
+    cache = None if args.no_cache else ResultCache.for_corpus(
+        path, max_bytes=args.cache_max_bytes)
     engine = None
     plane = None
     with telemetry.activate(telem):
@@ -407,7 +433,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             session = _tap_session(args, path)
             engine = StreamEngine.open(path, policy=policy,
                                        host_min_days=args.host_min_days,
-                                       cache=cache, fresh=args.fresh)
+                                       cache=cache, fresh=args.fresh,
+                                       scrub_every=args.scrub_every or None)
             if session is not None:
                 engine.attach_taps(session)
             plane = ObsPlane(path, rules=_slo_rules(args),
@@ -510,6 +537,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
             document = fetch_status(args.url)
         else:
             document = load_snapshot(Path(args.corpus))
+    except ObsUnreachableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_OBS_UNREACHABLE
     except ObsSnapshotError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_UNREADABLE
@@ -556,6 +586,47 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     else:
         print(report.format())
     return EXIT_OK if report.ok else EXIT_FAILURES
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.doctor import repair_corpus, scrub_corpus
+
+    path = Path(args.corpus)
+    telem = _make_telemetry(args)
+    manifest = telemetry.run_manifest("doctor", corpus=str(path),
+                                      config={"repair": args.repair,
+                                              "deep": not args.quick})
+    started = time.perf_counter()
+    deep = not args.quick
+    with telemetry.activate(telem):
+        try:
+            report = scrub_corpus(path, deep=deep,
+                                  cache_dir=args.cache_dir or None)
+            repair = None
+            if args.repair and not report.clean:
+                repair = repair_corpus(path, report, deep=deep,
+                                       cache_dir=args.cache_dir or None)
+                repair.verified = scrub_corpus(
+                    path, deep=deep, cache_dir=args.cache_dir or None)
+        except DoctorError as exc:
+            _write_telemetry(telem, args, manifest, started)
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_UNREADABLE
+    _write_telemetry(telem, args, manifest, started)
+    if args.json:
+        document = report.to_json()
+        if repair is not None:
+            document["repair"] = repair.to_json()
+        print(json.dumps(document, indent=2))
+    else:
+        print(report.format())
+        if repair is not None:
+            print(repair.format())
+    if repair is not None:
+        healed = repair.ok and repair.verified is not None \
+            and repair.verified.clean
+        return EXIT_OK if healed else EXIT_FAILURES
+    return EXIT_OK if report.clean else EXIT_FAILURES
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -717,6 +788,10 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--cache-dir", metavar="DIR",
                      help="content-addressed result cache: skip analyses "
                           "already finished for this exact corpus + config")
+    ana.add_argument("--cache-max-bytes", type=int, metavar="N",
+                     help="bound the result cache: evict least-recently-"
+                          "used entries once it exceeds N bytes "
+                          "(default: unbounded)")
     ana.add_argument("--json", action="store_true",
                      help="machine-readable study report on stdout")
     add_telemetry_flags(ana)
@@ -789,6 +864,14 @@ def build_parser() -> argparse.ArgumentParser:
     wat.add_argument("--no-cache", action="store_true",
                      help="disable the corpus-local result cache for "
                           "non-incremental analyses")
+    wat.add_argument("--cache-max-bytes", type=int, metavar="N",
+                     help="bound the result cache: evict least-recently-"
+                          "used entries once it exceeds N bytes "
+                          "(default: unbounded)")
+    wat.add_argument("--scrub-every", type=int, default=60, metavar="N",
+                     help="run a quick integrity scrub every N ticks, "
+                          "surfacing damage through the obs plane "
+                          "(default 60; 0 disables)")
     wat.add_argument("--obs-port", type=int, metavar="PORT",
                      help="serve /metrics /healthz /readyz /status on "
                           "127.0.0.1:PORT (0 = ephemeral, printed to "
@@ -852,6 +935,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also check this analysis-result cache for "
                           "entries keyed to a different corpus")
     val.set_defaults(func=_cmd_validate, cache_dir=None)
+
+    doc = sub.add_parser("doctor",
+                         help="scrub a corpus directory's durable state "
+                              "for damage and optionally repair it from "
+                              "redundancy")
+    doc.add_argument("corpus", help="corpus directory (synthetic or tap)")
+    doc.add_argument("--repair", action="store_true",
+                     help="execute the repair plan for every damage "
+                          "found, then re-scrub to verify convergence")
+    doc.add_argument("--quick", action="store_true",
+                     help="structural checks only, no content re-hashing "
+                          "(what the watch background scrub runs)")
+    doc.add_argument("--cache-dir", metavar="DIR",
+                     help="also scrub this analysis-result cache "
+                          "(the corpus-local .cache/ is always scrubbed)")
+    doc.add_argument("--json", action="store_true",
+                     help="machine-readable damage/repair report on "
+                          "stdout")
+    doc.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress informational output")
+    add_telemetry_flags(doc)
+    doc.set_defaults(func=_cmd_doctor)
 
     inj = sub.add_parser("inject",
                          help="write a deterministically-degraded copy of "

@@ -105,6 +105,17 @@ class ObsError(ReproError):
     """
 
 
+class ObsUnreachableError(ObsError):
+    """A live obs endpoint (``repro status --url``) cannot be reached.
+
+    Connection refused, DNS failure, and timeouts land here — the
+    session may simply not be running, which is operationally very
+    different from a corrupt snapshot or a malformed URL, so the CLI
+    gives it a dedicated exit code (6) that health-check scripts can
+    branch on.
+    """
+
+
 class ObsSnapshotError(ObsError):
     """The on-disk obs snapshot is corrupt, torn, or unversioned.
 
@@ -112,6 +123,17 @@ class ObsSnapshotError(ObsError):
     external happened to the file; ``repro status`` reports it as a
     typed error (exit 3) instead of guessing at session health.  The
     snapshot is derived state — the next watch tick rewrites it whole.
+    """
+
+
+class DoctorError(ReproError):
+    """The integrity doctor cannot scrub or repair a corpus directory.
+
+    Raised when the target is not a corpus-shaped directory at all, or
+    when a repair precondition fails (e.g. a synthetic corpus whose
+    generation parameters are unreadable, leaving nothing to rebuild
+    from).  Individual damaged artifacts never raise — they become
+    entries in the :class:`repro.doctor.DamageReport`.
     """
 
 

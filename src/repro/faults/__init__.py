@@ -30,6 +30,7 @@ from repro.faults.inject import (
     inject_packets,
 )
 from repro.faults import files
+from repro.faults import io
 
 __all__ = [
     "CONTROL_KINDS",
@@ -42,4 +43,5 @@ __all__ = [
     "inject_control_messages",
     "inject_packets",
     "files",
+    "io",
 ]

@@ -1,0 +1,250 @@
+"""Filesystem fault injection: deterministic IO-level failure shims.
+
+The corpus-level injectors in this package degrade *records*; this module
+degrades the *writes themselves*, the way a failing disk or a full
+filesystem would.  Five fault kinds cover the classic litany:
+
+``enospc``
+    The buffered write is refused with ``OSError(ENOSPC)`` before any
+    byte reaches the temp file's durable path.
+``eio``
+    Same shape, ``OSError(EIO)`` — a generic medium error.
+``short-write``
+    The nastiest one: only a prefix of the payload reaches the file and
+    **no error is raised**, so the atomic rename publishes a torn
+    artifact — exactly the damage class ``repro doctor`` exists to find.
+``fsync``
+    ``os.fsync`` raises ``OSError(EIO)`` (an fsync failure must abort the
+    publish, never be swallowed — the writer propagates it).
+``rename``
+    ``os.replace`` raises ``OSError(EIO)``; the destination keeps its old
+    content and the temp file is cleaned up.
+
+Faults are *planned*, not random: an :class:`IOFault` names a kind, a
+path substring to match, and the 1-based ordinal of the matching
+operation to hit, so a given plan replays the identical failure at the
+identical write every run.  Plans are installed in-process with
+:func:`install` / :func:`deactivate` (tests), or via the environment for
+CLI subprocesses::
+
+    REPRO_IO_FAULTS="short-write:control-001:1,fsync:manifest:2"
+
+Every hook is a no-op costing one global check when no plan is active.
+The shims are threaded through :mod:`repro.runtime.atomic` (flush, fsync,
+rename) and the checkpoint journal's append path, which between them
+carry every durable artifact the toolkit writes.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import FaultInjectionError
+
+#: environment variable holding a comma-separated fault plan
+IO_FAULTS_ENV = "REPRO_IO_FAULTS"
+
+#: the supported IO fault kinds
+IO_KINDS = ("enospc", "eio", "short-write", "fsync", "rename")
+
+#: fault kinds consulted at each hook point
+_WRITE_KINDS = ("enospc", "eio", "short-write")
+
+_ERRNO = {"enospc": errno.ENOSPC, "eio": errno.EIO,
+          "fsync": errno.EIO, "rename": errno.EIO}
+
+
+@dataclass
+class IOFault:
+    """One planned IO failure: kind, path filter, and when it fires."""
+
+    kind: str
+    #: substring of the target path that must match ("" = every path)
+    match: str = ""
+    #: 1-based ordinal of the matching operation of this kind to hit
+    at: int = 1
+    #: kept fraction of the payload for ``short-write`` (torn artifact)
+    keep_fraction: float = 0.5
+    #: how this fault has been consumed (set by the plan)
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in IO_KINDS:
+            raise FaultInjectionError(
+                f"unknown IO fault kind {self.kind!r}; expected one of "
+                f"{IO_KINDS}")
+        if self.at < 1:
+            raise FaultInjectionError(
+                f"IO fault ordinal must be >= 1, got {self.at}")
+        if not 0.0 <= self.keep_fraction < 1.0:
+            raise FaultInjectionError(
+                f"short-write keep_fraction must be in [0, 1), got "
+                f"{self.keep_fraction}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IOFault":
+        """Parse one ``kind[:match[:nth]]`` spec (the env/CLI syntax)."""
+        parts = text.strip().split(":")
+        kind = parts[0].strip()
+        match = parts[1].strip() if len(parts) > 1 else ""
+        at = 1
+        if len(parts) > 2:
+            try:
+                at = int(parts[2])
+            except ValueError:
+                raise FaultInjectionError(
+                    f"IO fault spec {text!r}: ordinal {parts[2]!r} is not "
+                    "an integer") from None
+        if len(parts) > 3:
+            raise FaultInjectionError(
+                f"IO fault spec {text!r}: expected kind[:match[:nth]]")
+        return cls(kind=kind, match=match, at=at)
+
+
+class IOFaultPlan:
+    """A set of planned faults plus the op counters that schedule them."""
+
+    def __init__(self, faults: List[IOFault]):
+        self.faults = list(faults)
+        #: (kind, match) -> how many matching ops have been seen
+        self._seen: dict = {}
+        #: human-readable record of every fault that fired
+        self.fired: List[str] = []
+
+    @classmethod
+    def parse(cls, spec: str) -> "IOFaultPlan":
+        faults = [IOFault.parse(part) for part in spec.split(",")
+                  if part.strip()]
+        if not faults:
+            raise FaultInjectionError(
+                f"empty IO fault plan {spec!r}; expected "
+                "kind[:match[:nth]][,...]")
+        return cls(faults)
+
+    def _arm(self, kinds, path: str) -> Optional[IOFault]:
+        """The fault (if any) scheduled to fire at this operation."""
+        hit = None
+        for fault in self.faults:
+            if fault.fired or fault.kind not in kinds:
+                continue
+            if fault.match and fault.match not in path:
+                continue
+            key = (fault.kind, fault.match)
+            self._seen[key] = seen = self._seen.get(key, 0) + 1
+            if seen == fault.at and hit is None:
+                hit = fault
+        return hit
+
+    def _fire(self, fault: IOFault, op: str, path: str) -> None:
+        fault.fired = True
+        self.fired.append(f"{fault.kind}@{op}:{path}")
+        from repro import telemetry
+        telemetry.current().counter("iofault.fired", kind=fault.kind).inc()
+
+    # -- hook points ---------------------------------------------------------
+
+    def on_write(self, path: str, data):
+        """Filter a payload about to be appended; may raise or truncate.
+
+        Used by append-path writers (the checkpoint journal): the
+        returned prefix is what actually reaches the file.
+        """
+        fault = self._arm(_WRITE_KINDS, path)
+        if fault is None:
+            return data
+        self._fire(fault, "write", path)
+        if fault.kind == "short-write":
+            return data[:int(len(data) * fault.keep_fraction)]
+        raise OSError(_ERRNO[fault.kind],
+                      f"injected {fault.kind} writing {path}")
+
+    def on_flush(self, path: str, fd: int) -> None:
+        """Damage a fully-buffered temp file just before its fsync.
+
+        Used by :func:`repro.runtime.atomic.atomic_writer`, where the
+        caller writes directly to the handle: ``short-write`` truncates
+        the temp file in place (the rename then publishes a torn
+        artifact), the error kinds raise as a failing flush would.
+        """
+        fault = self._arm(_WRITE_KINDS, path)
+        if fault is None:
+            return
+        self._fire(fault, "flush", path)
+        if fault.kind == "short-write":
+            size = os.fstat(fd).st_size
+            os.ftruncate(fd, int(size * fault.keep_fraction))
+            return
+        raise OSError(_ERRNO[fault.kind],
+                      f"injected {fault.kind} writing {path}")
+
+    def on_fsync(self, path: str) -> None:
+        fault = self._arm(("fsync",), path)
+        if fault is not None:
+            self._fire(fault, "fsync", path)
+            raise OSError(_ERRNO["fsync"], f"injected fsync failure on "
+                                           f"{path}")
+
+    def on_rename(self, src: str, dst: str) -> None:
+        fault = self._arm(("rename",), dst)
+        if fault is not None:
+            self._fire(fault, "rename", dst)
+            raise OSError(_ERRNO["rename"],
+                          f"injected rename failure publishing {dst}")
+
+
+#: the in-process plan (tests install these directly)
+_active: Optional[IOFaultPlan] = None
+#: lazily-parsed plan from the environment; False = not yet parsed
+_env_plan = False
+
+
+def install(plan: Optional[IOFaultPlan]) -> None:
+    """Install (or with ``None`` remove) the in-process fault plan."""
+    global _active
+    _active = plan
+
+
+def deactivate() -> None:
+    """Remove any in-process plan and forget the parsed env plan."""
+    global _active, _env_plan
+    _active = None
+    _env_plan = False
+
+
+def active() -> Optional[IOFaultPlan]:
+    """The plan in effect: the installed one, else the env-configured one."""
+    global _env_plan
+    if _active is not None:
+        return _active
+    if _env_plan is False:
+        spec = os.environ.get(IO_FAULTS_ENV)
+        _env_plan = IOFaultPlan.parse(spec) if spec else None
+    return _env_plan
+
+
+# -- the shims runtime code calls (one global check when inert) --------------
+
+def filter_write(path, data):
+    plan = active()
+    return data if plan is None else plan.on_write(str(path), data)
+
+
+def check_flush(path, fd: int) -> None:
+    plan = active()
+    if plan is not None:
+        plan.on_flush(str(path), fd)
+
+
+def check_fsync(path) -> None:
+    plan = active()
+    if plan is not None:
+        plan.on_fsync(str(path))
+
+
+def check_rename(src, dst) -> None:
+    plan = active()
+    if plan is not None:
+        plan.on_rename(str(src), str(dst))

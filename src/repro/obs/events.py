@@ -34,28 +34,26 @@ DEFAULT_BACKUPS = 2
 _RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
 
 
-class EventLogWriter:
-    """Append events as JSONL with size-bounded rotation; see module doc."""
+class RotatingLineWriter:
+    """Append text lines with size-bounded generation rotation.
+
+    The mechanism under :class:`EventLogWriter`, reusable for any
+    append-only JSONL sidecar that must stay disk-bounded — the tap
+    quarantine sidecars use it too.  Appends are buffered writes flushed
+    per line, never fsynced: these files are forensics, not commit logs.
+    """
 
     def __init__(self, path: str | Path, *,
                  max_bytes: int = DEFAULT_MAX_BYTES,
-                 backups: int = DEFAULT_BACKUPS,
-                 min_severity: str = "info"):
-        if min_severity not in _RANK:
-            raise ValueError(f"unknown severity {min_severity!r}")
+                 backups: int = DEFAULT_BACKUPS):
         self.path = Path(path)
         self.max_bytes = int(max_bytes)
         self.backups = int(backups)
-        self.min_severity = min_severity
         self.written = 0
         self.rotations = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
-    def __call__(self, record: dict) -> None:
-        """The sink interface :meth:`EventChannel.subscribe` expects."""
-        if _RANK.get(record.get("severity"), 1) < _RANK[self.min_severity]:
-            return
-        line = json.dumps(record, sort_keys=True)
+    def append(self, line: str) -> None:
         self._maybe_rotate(len(line) + 1)
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
@@ -84,6 +82,25 @@ class EventLogWriter:
 
     def rotated_path(self, generation: int) -> Path:
         return self.path.with_name(f"{self.path.name}.{generation}")
+
+
+class EventLogWriter(RotatingLineWriter):
+    """Append events as JSONL with size-bounded rotation; see module doc."""
+
+    def __init__(self, path: str | Path, *,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 backups: int = DEFAULT_BACKUPS,
+                 min_severity: str = "info"):
+        if min_severity not in _RANK:
+            raise ValueError(f"unknown severity {min_severity!r}")
+        super().__init__(path, max_bytes=max_bytes, backups=backups)
+        self.min_severity = min_severity
+
+    def __call__(self, record: dict) -> None:
+        """The sink interface :meth:`EventChannel.subscribe` expects."""
+        if _RANK.get(record.get("severity"), 1) < _RANK[self.min_severity]:
+            return
+        self.append(json.dumps(record, sort_keys=True))
 
 
 def iter_event_files(path: str | Path,

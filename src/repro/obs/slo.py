@@ -184,6 +184,21 @@ def evaluate(sample: dict, rules: SLORules = SLORules()) -> Health:
                 f"({100.0 * rate:.1f}%, threshold "
                 f"{100.0 * rules.max_quarantine_rate:g}%)"))
 
+    doctor = sample.get("doctor")
+    if doctor is not None:
+        errors = int(doctor.get("error_count", 0))
+        classes = doctor.get("classes") or []
+        # damage is a repairable condition, not a death sentence: the
+        # watcher keeps producing numbers from what it already ingested,
+        # so readiness degrades (run ``repro doctor --repair``) but the
+        # session is never judged unhealthy on this check alone
+        state = STATE_DEGRADED if errors > 0 else STATE_OK
+        detail = (f"{errors} integrity error(s) found by the background "
+                  f"scrub ({', '.join(classes)}); run repro doctor --repair"
+                  if errors else "background scrub clean")
+        health.checks.append(Check(
+            "doctor.damage", state, float(errors), 0.0, detail))
+
     age = sample.get("checkpoint_age_seconds")
     if age is not None and rules.max_checkpoint_age is not None:
         state = _escalate(float(age), rules.max_checkpoint_age,

@@ -11,13 +11,14 @@ different rules; it *reports*, and its exit code (0 ok / 4 degraded /
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
 from typing import List
 
 from repro.core.report import format_table
-from repro.errors import ObsError, ObsSnapshotError
+from repro.errors import ObsError, ObsSnapshotError, ObsUnreachableError
 from repro.obs.slo import EXIT_CODES, STATE_OK, Health
 from repro.obs.snapshot import SNAPSHOT_VERSION, snapshot_age_seconds
 
@@ -26,9 +27,12 @@ def fetch_status(url: str, *, timeout: float = 5.0) -> dict:
     """The ``/status`` document of a live session at ``url``.
 
     ``url`` may be the endpoint root (``http://127.0.0.1:9100``) or the
-    full ``/status`` route; anything unreachable or non-JSON raises
+    full ``/status`` route.  Connection refused, DNS failure, and
+    timeouts raise :class:`~repro.errors.ObsUnreachableError` (CLI exit
+    6 — "probably not running"); an endpoint that *answers* but with an
+    HTTP error or an unusable document raises
     :class:`~repro.errors.ObsError` /
-    :class:`~repro.errors.ObsSnapshotError`.
+    :class:`~repro.errors.ObsSnapshotError` as before.
     """
     if not url.startswith(("http://", "https://")):
         url = "http://" + url
@@ -37,9 +41,18 @@ def fetch_status(url: str, *, timeout: float = 5.0) -> dict:
     try:
         with urllib.request.urlopen(url, timeout=timeout) as response:
             raw = json.loads(response.read().decode("utf-8"))
-    except (urllib.error.URLError, OSError) as exc:
-        raise ObsError(f"{url}: cannot reach live obs endpoint: {exc}"
-                       ) from exc
+    except urllib.error.HTTPError as exc:
+        # the endpoint is alive — it just refused or errored the request
+        raise ObsError(f"{url}: endpoint answered HTTP {exc.code}: "
+                       f"{exc.reason}") from exc
+    except (urllib.error.URLError, ConnectionError, TimeoutError,
+            OSError) as exc:
+        reason = getattr(exc, "reason", None) or exc
+        raise ObsUnreachableError(
+            f"{url}: cannot reach live obs endpoint ({reason}); "
+            "is the watch session running?") from exc
+    except http.client.HTTPException as exc:
+        raise ObsError(f"{url}: malformed HTTP response: {exc}") from exc
     except ValueError as exc:
         raise ObsSnapshotError(f"{url}: endpoint returned non-JSON status: "
                                f"{exc}") from exc

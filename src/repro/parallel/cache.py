@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
@@ -76,18 +77,29 @@ def digest_of_files(files: dict) -> str:
 
 
 class ResultCache:
-    """One cache directory of content-addressed analysis outcomes."""
+    """One cache directory of content-addressed analysis outcomes.
 
-    def __init__(self, root: str | Path):
+    ``max_bytes`` bounds the entry directory: once a ``put`` pushes the
+    total size of entries past the budget, the least-recently-used
+    entries (by mtime — ``get`` touches entries it serves) are evicted
+    until the cache fits again.  Unbounded by default, matching the
+    previous behaviour.
+    """
+
+    def __init__(self, root: str | Path, *,
+                 max_bytes: Optional[int] = None):
         self.root = Path(root)
+        self.max_bytes = max_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.root)!r})"
 
     @classmethod
-    def for_corpus(cls, corpus_dir: str | Path) -> "ResultCache":
+    def for_corpus(cls, corpus_dir: str | Path, *,
+                   max_bytes: Optional[int] = None) -> "ResultCache":
         """The default cache location for a corpus directory."""
-        return cls(Path(corpus_dir) / DEFAULT_CACHE_DIRNAME)
+        return cls(Path(corpus_dir) / DEFAULT_CACHE_DIRNAME,
+                   max_bytes=max_bytes)
 
     # -- keying ---------------------------------------------------------------
 
@@ -135,6 +147,10 @@ class ResultCache:
             return None
         if outcome.status is AnalysisStatus.FAILED:
             return None  # never serve failures from cache
+        try:
+            os.utime(path)  # LRU touch: a served entry is a live entry
+        except OSError:
+            pass
         telemetry.current().counter("cache.hits", name=name).inc()
         return outcome
 
@@ -166,7 +182,45 @@ class ResultCache:
         }
         atomic_write_text(path, json.dumps(entry, indent=2))
         telemetry.current().counter("cache.stores", name=outcome.name).inc()
+        self._enforce_budget(keep=path)
         return path
+
+    def _enforce_budget(self, keep: Optional[Path] = None) -> int:
+        """Evict least-recently-used entries until the cache fits.
+
+        The entry just written (``keep``) is never evicted — a budget
+        smaller than one entry must not turn every ``put`` into a no-op.
+        Returns the number of entries evicted.
+        """
+        if self.max_bytes is None:
+            return 0
+        entry_dir = self.root / ENTRY_DIR
+        if not entry_dir.is_dir():
+            return 0
+        candidates = []
+        total = 0
+        for path in entry_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            candidates.append((stat.st_mtime, stat.st_size, path))
+        evicted = 0
+        for _, size, path in sorted(candidates):
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            telemetry.current().counter("cache.evictions",
+                                        reason="size").inc()
+        return evicted
 
     # -- maintenance / validation --------------------------------------------
 

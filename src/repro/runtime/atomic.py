@@ -8,6 +8,12 @@ over the destination, and finally the directory entry itself is fsynced.
 A reader therefore observes either the old file or the complete new file,
 never a truncated hybrid — a crash mid-write leaves only a ``.tmp-*``
 orphan that the next run quietly removes.
+
+The flush, fsync, and rename steps each pass through the
+:mod:`repro.faults.io` shims, so the fault-injection torture harness can
+make any individual publish fail (or silently tear) the way real disks
+do.  The shims are single-global-check no-ops unless a fault plan is
+installed or ``REPRO_IO_FAULTS`` is set.
 """
 
 from __future__ import annotations
@@ -51,6 +57,8 @@ def atomic_writer(path: str | Path, mode: str = "w",
     destination is left exactly as it was.  ``mode`` must be a write mode
     (``"w"`` or ``"wb"``).
     """
+    from repro.faults import io as iofaults  # lazy: avoids import cycle
+
     path = Path(path)
     if "b" in mode:
         encoding = None
@@ -61,7 +69,10 @@ def atomic_writer(path: str | Path, mode: str = "w",
         with os.fdopen(fd, mode, encoding=encoding) as fh:
             yield fh
             fh.flush()
+            iofaults.check_flush(path, fh.fileno())
+            iofaults.check_fsync(path)
             os.fsync(fh.fileno())
+        iofaults.check_rename(tmp, path)
         os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)

@@ -125,8 +125,12 @@ class CheckpointJournal:
     # -- internals -----------------------------------------------------------
 
     def _append(self, record: dict, truncate: bool = False) -> None:
+        from repro.faults import io as iofaults  # lazy: avoids import cycle
+
         mode = "w" if truncate else "a"
+        line = json.dumps(record, sort_keys=True) + "\n"
         with open(self.path, mode, encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(iofaults.filter_write(self.path, line))
             fh.flush()
+            iofaults.check_fsync(self.path)
             os.fsync(fh.fileno())

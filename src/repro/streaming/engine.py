@@ -41,7 +41,7 @@ from repro.corpus.ingest import ErrorPolicy, IngestReport, check_policy
 from repro.corpus.manifest import CONTROL_FILE, DATA_FILE, file_sha256
 from repro.corpus.platform import load_platform, read_platform_meta
 from repro.dataplane.packet import PACKET_DTYPE
-from repro.errors import CorpusError, IngestError, StreamError
+from repro.errors import CorpusError, IngestError, ReproError, StreamError
 from repro.parallel.cache import ResultCache
 from repro.runtime.generate import (
     JOURNAL_FILE,
@@ -115,12 +115,18 @@ class StreamEngine:
                  policy: Union[str, ErrorPolicy] = ErrorPolicy.SKIP,
                  delta: float = DEFAULT_DELTA,
                  host_min_days: int = 20,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 scrub_every: Optional[int] = None):
         self.corpus_dir = Path(corpus_dir)
         self.policy = check_policy(policy)
         self.delta = float(delta)
         self.host_min_days = int(host_min_days)
         self.cache = cache
+        #: run a quick integrity scrub every N ticks (None disables);
+        #: damage surfaces through obs, never crashes the watcher
+        self.scrub_every = scrub_every
+        self._ticks = 0
+        self._last_scrub: Optional[dict] = None
         self._control = ControlReducer()
         self._traffic = TrafficReducer()
         self._pre = PreRTBHReducer()
@@ -149,14 +155,16 @@ class StreamEngine:
              delta: float = DEFAULT_DELTA,
              host_min_days: int = 20,
              cache: Optional[ResultCache] = None,
-             fresh: bool = False) -> "StreamEngine":
+             fresh: bool = False,
+             scrub_every: Optional[int] = None) -> "StreamEngine":
         """Open a watcher, resuming its stream checkpoint if one exists.
 
         ``fresh=True`` ignores any existing checkpoint and starts from
         day 0 (the checkpoint file is overwritten at the next tick).
         """
         engine = cls(corpus_dir, policy=policy, delta=delta,
-                     host_min_days=host_min_days, cache=cache)
+                     host_min_days=host_min_days, cache=cache,
+                     scrub_every=scrub_every)
         if not fresh:
             state = load_state(corpus_dir)
             if state is not None:
@@ -313,9 +321,47 @@ class StreamEngine:
             sp.attrs["consumed_days"] = consumed
         telem.gauge("stream.lag_days").set(
             self._committed_days(journal) - self.watermark_days)
+        self._ticks += 1
+        if self.scrub_every and self._ticks % self.scrub_every == 0:
+            self._scrub_tick()
         if self._obs is not None:
             self._obs.observe(self.obs_sample())
         return consumed
+
+    def _scrub_tick(self) -> None:
+        """Background integrity scrub: quick mode, advisory only.
+
+        Damage never crashes the watcher — it lands in the obs sample
+        (degrading readiness via the ``doctor.damage`` SLO check) and
+        the event log, and the operator runs ``repro doctor --repair``.
+        """
+        from repro.doctor import scrub_corpus
+
+        telem = telemetry.current()
+        try:
+            report = scrub_corpus(self.corpus_dir, deep=False,
+                                  cache_dir=None if self.cache is None
+                                  else self.cache.root)
+        except ReproError as exc:  # scrub trouble is a finding, not a crash
+            self._last_scrub = {"tick": self._ticks, "damage_count": 1,
+                                "error_count": 1, "classes": ["scrub-failed"],
+                                "detail": str(exc)}
+            telem.event("doctor.damage", severity="error",
+                        classes=["scrub-failed"], detail=str(exc))
+            return
+        self._last_scrub = {
+            "tick": self._ticks,
+            "damage_count": len(report.damages),
+            "error_count": len(report.errors),
+            "classes": report.classes(),
+        }
+        if not report.clean:
+            telem.counter("doctor.damage_found").inc(len(report.damages))
+            telem.event(
+                "doctor.damage", severity="warning",
+                damage_count=len(report.damages),
+                error_count=len(report.errors), classes=report.classes(),
+                damages=[str(d) for d in report.damages[:10]])
 
     def obs_sample(self) -> dict:
         """The operational sample the obs plane judges and publishes.
@@ -346,6 +392,8 @@ class StreamEngine:
         if self._taps is not None:
             sample["taps"] = self._taps.status()
             sample["taps_degraded"] = self._taps.degraded
+        if self._last_scrub is not None:
+            sample["doctor"] = dict(self._last_scrub)
         return sample
 
     def _segment_path(self, plane: str, day: int) -> Path:

@@ -39,6 +39,7 @@ malformed-record quarantine
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import time
@@ -53,7 +54,6 @@ from repro.bgp.message import BGPUpdate
 from repro.corpus.ingest import ErrorPolicy, IngestReport, check_policy
 from repro.errors import TapError
 from repro.runtime import chaos
-from repro.runtime.atomic import atomic_writer
 from repro.runtime.retry import BackoffTimer, RetryPolicy
 from repro.taps.adapters import MRT_HEADER, MRT_MAX_FRAME, TapSpec
 
@@ -305,13 +305,23 @@ class TapSupervisor:
             source=str(spec.path), policy=config.policy.value,
             quarantine_path=None if quarantine is None else str(quarantine))
         self._quarantine_flushed = 0
-        if quarantine is not None and quarantine.exists():
-            existing = [line for line in quarantine.read_text(
-                encoding="utf-8", errors="replace").splitlines() if line]
+        self._quarantine_writer = None
+        if quarantine is not None:
+            from repro.obs.events import RotatingLineWriter, iter_event_files
+
+            # seed SHA-dedupe from *every* rotation generation, so a
+            # payload rotated out of the active sidecar still counts as
+            # already-quarantined on re-ingest
+            existing = []
+            for file in iter_event_files(quarantine):
+                existing.extend(line for line in file.read_text(
+                    encoding="utf-8", errors="replace").splitlines() if line)
             self.report.seed_quarantine_digests(existing)
-            self._quarantine_existing = existing
-        else:
-            self._quarantine_existing = []
+            self._quarantine_writer = RotatingLineWriter(quarantine)
+        self._offset_path = (
+            None if quarantine_dir is None
+            else Path(quarantine_dir) / f"{spec.name}.offset.json")
+        self._offset_written = -1
 
     # -- identity ------------------------------------------------------------
 
@@ -380,6 +390,7 @@ class TapSupervisor:
 
         self._enqueue(parsed)
         self._flush_quarantine()
+        self._write_offset()
         if final and self.state is not TapState.DEAD:
             self.state = TapState.FINISHED
         telem.gauge("tap.queue_depth", tap=self.name).set(len(self.queue))
@@ -443,15 +454,50 @@ class TapSupervisor:
                     reason=reason, payload=payload[:200])
 
     def _flush_quarantine(self) -> None:
-        """Persist newly quarantined payloads to the sidecar (atomic
-        rewrite of existing + new, exactly like the batch loaders)."""
-        if self.report.quarantine_path is None \
+        """Append newly quarantined payloads to the sidecar.
+
+        The sidecar uses the same size-bounded generation rotation as
+        ``.obs/events.jsonl`` (the old behaviour — an atomic rewrite of
+        every payload ever seen — grew without bound and went quadratic
+        on hostile feeds).  Dedupe keys on payload SHA-256 and was
+        seeded from all generations, so rotation never re-admits an
+        old payload.
+        """
+        if self._quarantine_writer is None \
                 or len(self.report.quarantined) == self._quarantine_flushed:
             return
-        with atomic_writer(self.report.quarantine_path) as fh:
-            for payload in self._quarantine_existing + self.report.quarantined:
-                fh.write(payload + "\n")
+        for payload in self.report.quarantined[self._quarantine_flushed:]:
+            self._quarantine_writer.append(payload)
         self._quarantine_flushed = len(self.report.quarantined)
+
+    def _write_offset(self) -> None:
+        """Persist the reader position as a forensic sidecar.
+
+        ``.taps/NAME.offset.json`` records how far into the source this
+        tap has read — the doctor's scrub cross-checks it against the
+        source's current size (an offset beyond EOF means the source
+        was truncated under a dead session).  It is deliberately *not*
+        read back on resume: replay convergence comes from the commit
+        log, not from trusting a sidecar.  Sidecar IO never fails a tap.
+        """
+        if self._offset_path is None \
+                or self._reader.offset == self._offset_written:
+            return
+        try:
+            size = os.stat(self.spec.path).st_size
+        except OSError:
+            size = None
+        try:
+            from repro.runtime.atomic import atomic_write_text
+            atomic_write_text(self._offset_path, json.dumps({
+                "version": 1, "tap": self.name,
+                "offset": self._reader.offset,
+                "generation": self._reader.generation,
+                "source": str(self.spec.path),
+                "source_bytes": size}, sort_keys=True))
+            self._offset_written = self._reader.offset
+        except OSError:  # pragma: no cover - disk trouble must not kill taps
+            pass
 
     # -- queue ---------------------------------------------------------------
 
@@ -541,6 +587,8 @@ class TapSupervisor:
             "frontier": (None if not math.isfinite(self.frontier)
                          else self.frontier),
             "queue_depth": len(self.queue),
+            "offset": self._reader.offset,
+            "generation": self._reader.generation,
             "quarantine_path": self.report.quarantine_path,
             "quarantine_duplicates": self.report.quarantine_duplicates,
             "last_error": self.last_error,

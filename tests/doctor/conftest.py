@@ -1,0 +1,54 @@
+"""Shared fixtures for the doctor suites: one pristine generated corpus
+per session, copied per test so damage never leaks between cases, plus
+the convergence fingerprint the repair engine promises to restore."""
+
+import hashlib
+import json
+import shutil
+
+import pytest
+
+from repro.corpus.manifest import CONTROL_FILE, DATA_FILE, MANIFEST_FILE
+
+
+def corpus_fingerprint(corpus_dir) -> str:
+    """The repair-convergence fingerprint of a corpus directory.
+
+    Byte-equality of ``manifest.json`` is unattainable by design — its
+    provenance ``run`` block carries wall-clock timings — so convergence
+    is judged on what actually keys results: the two corpus files'
+    bytes plus the manifest's ``files``/``counts`` sections (the same
+    sections ``corpus_digest`` hashes).
+    """
+    h = hashlib.sha256()
+    h.update((corpus_dir / CONTROL_FILE).read_bytes())
+    h.update((corpus_dir / DATA_FILE).read_bytes())
+    manifest = json.loads((corpus_dir / MANIFEST_FILE).read_text())
+    h.update(json.dumps({"files": manifest.get("files"),
+                         "counts": manifest.get("counts")},
+                        sort_keys=True).encode())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="session")
+def pristine_corpus(tmp_path_factory):
+    """A small generated corpus with kept segments; treat as read-only."""
+    from repro import GenerateOptions, Study
+
+    corpus = tmp_path_factory.mktemp("doctor") / "pristine"
+    Study.generate(corpus, options=GenerateOptions(
+        scale=0.01, duration_days=3.0, seed=11, keep_segments=True))
+    return corpus
+
+
+@pytest.fixture()
+def corpus(pristine_corpus, tmp_path):
+    """A damage-able copy of the pristine corpus."""
+    target = tmp_path / "corpus"
+    shutil.copytree(pristine_corpus, target)
+    return target
+
+
+@pytest.fixture()
+def baseline_fingerprint(pristine_corpus):
+    return corpus_fingerprint(pristine_corpus)

@@ -37,3 +37,32 @@ def make_pipeline(result, control, data):
         control, data,
         peer_asns=result.ixp.member_asns,
         peeringdb=result.ixp.peeringdb, host_min_days=3)
+
+
+@pytest.fixture(scope="package")
+def _io_pristine_corpus(tmp_path_factory):
+    from repro import GenerateOptions, Study
+
+    corpus = tmp_path_factory.mktemp("io-faults") / "pristine"
+    Study.generate(corpus, options=GenerateOptions(
+        scale=0.01, duration_days=3.0, seed=11, keep_segments=True))
+    return corpus
+
+
+@pytest.fixture()
+def corpus_factory(_io_pristine_corpus, tmp_path):
+    """A fresh ``(corpus_copy, baseline_fingerprint)`` per call, for the
+    IO-fault torture loops that damage and then doctor a corpus."""
+    import itertools
+    import shutil
+
+    from tests.doctor.conftest import corpus_fingerprint
+
+    counter = itertools.count()
+
+    def factory():
+        target = tmp_path / f"corpus-{next(counter)}"
+        shutil.copytree(_io_pristine_corpus, target)
+        return target, corpus_fingerprint(target)
+
+    return factory

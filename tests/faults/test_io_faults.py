@@ -1,0 +1,165 @@
+"""The filesystem fault injector: spec parsing, deterministic scheduling,
+each hook's failure shape through the atomic-write layer, and the
+torture loop the injector exists for — tear an artifact, let the doctor
+converge it back."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.io import IOFault, IOFaultPlan, deactivate, install
+from repro.runtime.atomic import atomic_write_text, atomic_writer
+from repro.runtime.checkpoint import CheckpointJournal
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    deactivate()
+    yield
+    deactivate()
+
+
+class TestSpecParsing:
+    def test_kind_only(self):
+        fault = IOFault.parse("enospc")
+        assert (fault.kind, fault.match, fault.at) == ("enospc", "", 1)
+
+    def test_kind_match_ordinal(self):
+        fault = IOFault.parse("short-write:manifest:3")
+        assert fault.match == "manifest" and fault.at == 3
+
+    @pytest.mark.parametrize("bad", ["gremlins", "eio:x:notanint",
+                                     "eio:x:1:extra", "eio:x:0"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(FaultInjectionError):
+            IOFault.parse(bad)
+
+    def test_plan_parses_comma_separated(self):
+        plan = IOFaultPlan.parse("eio:a,fsync:b:2")
+        assert [f.kind for f in plan.faults] == ["eio", "fsync"]
+
+    def test_empty_plan_raises(self):
+        with pytest.raises(FaultInjectionError):
+            IOFaultPlan.parse(" , ")
+
+    def test_env_plan_is_lazily_parsed(self, monkeypatch):
+        from repro.faults import io as faults_io
+
+        monkeypatch.setenv(faults_io.IO_FAULTS_ENV, "eio:manifest")
+        deactivate()  # forget any previously-parsed env plan
+        plan = faults_io.active()
+        assert plan is not None and plan.faults[0].kind == "eio"
+
+
+class TestScheduling:
+    def test_ordinal_counts_matching_ops_only(self, tmp_path):
+        install(IOFaultPlan([IOFault("eio", match="target", at=2)]))
+        atomic_write_text(tmp_path / "other.json", "untouched")
+        atomic_write_text(tmp_path / "target-1.json", "first passes")
+        with pytest.raises(OSError):
+            atomic_write_text(tmp_path / "target-2.json", "second dies")
+        assert (tmp_path / "target-1.json").exists()
+        assert not (tmp_path / "target-2.json").exists()
+
+    def test_fault_fires_once(self, tmp_path):
+        plan = IOFaultPlan([IOFault("eio")])
+        install(plan)
+        with pytest.raises(OSError):
+            atomic_write_text(tmp_path / "a.json", "x")
+        atomic_write_text(tmp_path / "a.json", "x")  # next write succeeds
+        assert len(plan.fired) == 1
+
+
+class TestHooks:
+    def test_enospc_and_eio_abort_publish(self, tmp_path):
+        target = tmp_path / "doc.json"
+        target.write_text("old")
+        for kind in ("enospc", "eio"):
+            install(IOFaultPlan([IOFault(kind)]))
+            with pytest.raises(OSError, match=f"injected {kind}"):
+                atomic_write_text(target, "new")
+            assert target.read_text() == "old"
+            assert not list(tmp_path.glob(".tmp-*"))  # temp cleaned up
+
+    def test_short_write_publishes_torn_artifact(self, tmp_path):
+        target = tmp_path / "doc.json"
+        payload = "x" * 1000
+        install(IOFaultPlan([IOFault("short-write", keep_fraction=0.5)]))
+        atomic_write_text(target, payload)  # no error: silent corruption
+        assert target.exists()
+        assert len(target.read_bytes()) == 500
+
+    def test_fsync_failure_propagates(self, tmp_path):
+        install(IOFaultPlan([IOFault("fsync")]))
+        with pytest.raises(OSError, match="injected fsync"):
+            atomic_write_text(tmp_path / "doc.json", "x")
+
+    def test_rename_failure_keeps_old_content(self, tmp_path):
+        target = tmp_path / "doc.json"
+        target.write_text("old")
+        install(IOFaultPlan([IOFault("rename")]))
+        with pytest.raises(OSError, match="injected rename"):
+            atomic_write_text(target, "new")
+        assert target.read_text() == "old"
+
+    def test_writer_flush_truncation(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        install(IOFaultPlan([IOFault("short-write", keep_fraction=0.25)]))
+        with atomic_writer(target, mode="wb") as fh:
+            fh.write(b"A" * 400)
+        assert len(target.read_bytes()) == 100
+
+
+class TestJournalTearing:
+    def test_short_write_tears_journal_append(self, tmp_path):
+        from repro.doctor.scrub import scan_journal_file
+
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(path)
+        journal.start({"command": "test"})
+        journal.commit("step:one", value=1)
+        install(IOFaultPlan([IOFault("short-write", at=1)]))
+        journal.commit("step:two", value=2)
+        install(None)
+        scan = scan_journal_file(path)
+        assert scan.torn_offset is not None
+        assert "step:one" in scan.steps
+        assert "step:two" not in scan.steps
+
+
+class TestTortureConvergence:
+    def test_torn_manifest_write_heals_via_doctor(self, corpus_factory):
+        """The full loop: fault tears an artifact mid-write, scrub
+        convicts it, repair converges back to the baseline fingerprint."""
+        from repro.doctor import repair_corpus, scrub_corpus
+        from tests.doctor.conftest import corpus_fingerprint
+
+        corpus, baseline = corpus_factory()
+        manifest = corpus / "manifest.json"
+        install(IOFaultPlan([IOFault("short-write", match="manifest")]))
+        atomic_write_text(manifest, json.dumps(
+            json.loads(manifest.read_text()), indent=2))
+        install(None)
+        report = scrub_corpus(corpus)
+        assert any(d.kind == "manifest" for d in report.damages)
+        outcome = repair_corpus(corpus, report)
+        assert outcome.ok
+        assert scrub_corpus(corpus).clean
+        assert corpus_fingerprint(corpus) == baseline
+
+    def test_torn_journal_append_heals_via_doctor(self, corpus_factory):
+        from repro.doctor import repair_corpus, scrub_corpus
+        from repro.runtime.generate import JOURNAL_FILE
+        from tests.doctor.conftest import corpus_fingerprint
+
+        corpus, baseline = corpus_factory()
+        journal = CheckpointJournal.load(corpus / JOURNAL_FILE)
+        install(IOFaultPlan([IOFault("short-write",
+                                     match=JOURNAL_FILE)]))
+        journal.commit("segment:control:099", sha256="ab" * 32)
+        install(None)
+        outcome = repair_corpus(corpus)
+        assert outcome.ok
+        assert scrub_corpus(corpus).clean
+        assert corpus_fingerprint(corpus) == baseline

@@ -106,3 +106,33 @@ class TestSerialization:
     def test_exit_codes(self):
         assert EXIT_CODES == {STATE_OK: 0, STATE_DEGRADED: 4,
                               STATE_UNHEALTHY: 5}
+
+
+class TestDoctorCheck:
+    def test_damage_degrades_never_unhealthy(self):
+        health = evaluate({"doctor": {
+            "error_count": 50, "damage_count": 50,
+            "classes": ["segment", "manifest"]}})
+        assert health.state == STATE_DEGRADED
+        (check,) = [c for c in health.checks if c.name == "doctor.damage"]
+        assert "repro doctor --repair" in check.detail
+        assert "segment" in check.detail
+
+    def test_clean_scrub_is_ok(self):
+        health = evaluate({"doctor": {"error_count": 0,
+                                      "damage_count": 0, "classes": []}})
+        assert health.state == STATE_OK
+        (check,) = [c for c in health.checks if c.name == "doctor.damage"]
+        assert "clean" in check.detail
+
+    def test_warning_only_damage_is_ok(self):
+        # tmp orphans and torn event lines are warnings, not errors —
+        # readiness only reacts to error-severity damage
+        health = evaluate({"doctor": {"error_count": 0,
+                                      "damage_count": 3,
+                                      "classes": ["tmp"]}})
+        assert health.state == STATE_OK
+
+    def test_absent_doctor_key_not_applicable(self):
+        health = evaluate({"lag_days": 0})
+        assert not [c for c in health.checks if c.name == "doctor.damage"]

@@ -86,7 +86,8 @@ class TestLiveUrl:
 
     def test_unreachable_url_is_typed_error(self, tmp_path, capsys):
         assert main(["status", str(tmp_path),
-                     "--url", "http://127.0.0.1:1"]) == 2
+                     "--url", "http://127.0.0.1:1"]) == 6
         err = capsys.readouterr().err
         assert "cannot reach live obs endpoint" in err
+        assert "is the watch session running?" in err
         assert "Traceback" not in err

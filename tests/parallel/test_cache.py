@@ -2,6 +2,7 @@
 corruption tolerance, and the ``validate`` stale-cache regression."""
 
 import json
+import os
 
 import pytest
 
@@ -165,3 +166,65 @@ class TestValidateStaleCache:
         cache.put("whatever", "cfg", outcome())
         report = validate_corpus(tmp_path)
         assert any(i.code == "stale-cache" for i in report.issues)
+
+
+class TestSizeBudget:
+    """--cache-max-bytes: LRU-by-mtime eviction with telemetry."""
+
+    def entry_size(self, tmp_path):
+        cache = ResultCache(tmp_path / "probe")
+        path = cache.put("corpus", "cfg", outcome())
+        return path.stat().st_size
+
+    def fill(self, cache, names):
+        for name in names:
+            path = cache.put("corpus", "cfg", outcome(name=name))
+            # spread mtimes deterministically so LRU order is exact
+            os.utime(path, (1_000_000 + len(cache_names(cache)),
+                            1_000_000 + len(cache_names(cache))))
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(20):
+            cache.put("corpus", "cfg", outcome(name=f"fig{i}"))
+        assert len(cache_names(cache)) == 20
+
+    def test_put_evicts_oldest_past_budget(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(tmp_path, max_bytes=3 * size + size // 2)
+        self.fill(cache, [f"fig{i}" for i in range(5)])
+        kept = cache_names(cache)
+        assert len(kept) == 3
+        assert {"fig2", "fig3", "fig4"} == kept  # oldest two evicted
+
+    def test_get_touch_protects_served_entries(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(tmp_path, max_bytes=2 * size + size // 2)
+        self.fill(cache, ["figA", "figB"])
+        assert cache.get("corpus", "cfg", "figA") is not None  # LRU touch
+        cache.put("corpus", "cfg", outcome(name="figC"))
+        kept = cache_names(cache)
+        assert "figA" in kept and "figC" in kept
+        assert "figB" not in kept
+
+    def test_just_written_entry_never_evicted(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(tmp_path, max_bytes=size // 2)
+        path = cache.put("corpus", "cfg", outcome(name="only"))
+        assert path.exists()
+        assert cache_names(cache) == {"only"}
+
+    def test_eviction_counter_increments(self, tmp_path):
+        from repro import telemetry
+
+        size = self.entry_size(tmp_path)
+        with telemetry.activate(telemetry.Telemetry()) as telem:
+            cache = ResultCache(tmp_path, max_bytes=size + size // 2)
+            self.fill(cache, ["figA", "figB", "figC"])
+            evicted = telem.registry.counter("cache.evictions",
+                                             reason="size").value
+        assert evicted == 2
+
+
+def cache_names(cache):
+    return {entry.get("name") for _, entry in cache.entries()}

@@ -2,6 +2,8 @@
 is injected, the backoff jitter is seeded, and the feeds are files — no
 sleeping, no network, no flakiness."""
 
+import json
+
 import pytest
 
 from repro.corpus.ingest import ErrorPolicy
@@ -327,3 +329,103 @@ class TestConfigValidation:
     def test_bad_knobs_raise(self, kwargs):
         with pytest.raises(TapError):
             TapConfig(**kwargs)
+
+
+class TestQuarantineRotation:
+    """The quarantine sidecar is disk-bounded: it rotates generations
+    like ``.obs/events.jsonl``, and SHA-dedupe survives rotation."""
+
+    def noisy_feed(self, tmp_path, bad_lines, name="noisy"):
+        path = write_feed(tmp_path / f"{name}.ris",
+                          make_messages(days=1, per_day=2), "ris")
+        with open(path, "a", encoding="utf-8") as fh:
+            for i in range(bad_lines):
+                fh.write(f"garbage payload number {i:04d} {'x' * 40}\n")
+        return path
+
+    def make_sup(self, tmp_path, clock, path, max_bytes=None):
+        spec = parse_tap_spec(f"noisy=ris:{path}")
+        sup = TapSupervisor(spec, config=TapConfig(**FAST),
+                            quarantine_dir=tmp_path, clock=clock)
+        if max_bytes is not None:
+            sup._quarantine_writer.max_bytes = max_bytes
+        return sup
+
+    def test_sidecar_rotates_past_size_bound(self, tmp_path, clock):
+        path = self.noisy_feed(tmp_path, bad_lines=40)
+        sup = self.make_sup(tmp_path, clock, path, max_bytes=512)
+        sup.poll()
+        assert sup.records_malformed == 40
+        active = tmp_path / "noisy.quarantine.jsonl"
+        assert active.stat().st_size <= 512
+        assert active.with_name(active.name + ".1").exists()
+        assert sup._quarantine_writer.rotations >= 1
+
+    def test_dedupe_survives_rotation(self, tmp_path, clock):
+        # a budget that forces rotation but keeps every payload within
+        # the generation chain: dedupe must be seeded from all of them
+        path = self.noisy_feed(tmp_path, bad_lines=40)
+        first = self.make_sup(tmp_path, clock, path, max_bytes=1100)
+        first.poll()
+        assert first._quarantine_writer.rotations >= 1
+        total_lines = sum(
+            len(f.read_text().splitlines())
+            for f in tmp_path.glob("noisy.quarantine.jsonl*"))
+        assert total_lines == 40
+        # re-ingest: payloads rotated out of the active sidecar must
+        # still count as already quarantined
+        second = self.make_sup(tmp_path, clock, path, max_bytes=1100)
+        second.poll()
+        assert second.report.quarantine_duplicates == 40
+        after = sum(
+            len(f.read_text().splitlines())
+            for f in tmp_path.glob("noisy.quarantine.jsonl*"))
+        assert after == total_lines
+
+    def test_overflowing_chain_stays_bounded(self, tmp_path, clock):
+        # payloads dropped off the end of the chain may be re-admitted
+        # on re-ingest — the bound on disk matters more than perfect
+        # dedupe memory
+        path = self.noisy_feed(tmp_path, bad_lines=40)
+        for _ in range(3):
+            sup = self.make_sup(tmp_path, clock, path, max_bytes=512)
+            sup.poll()
+        files = list(tmp_path.glob("noisy.quarantine.jsonl*"))
+        assert len(files) <= 3  # active + DEFAULT_BACKUPS generations
+        assert all(f.stat().st_size <= 512 + 80 for f in files)
+
+
+class TestOffsetSidecar:
+    def test_poll_writes_offset_sidecar(self, tmp_path, clock):
+        sup, path = make_tap(tmp_path, clock)
+        sup.poll()
+        sidecar = tmp_path / "feed.offset.json"
+        record = json.loads(sidecar.read_text())
+        assert record["offset"] == path.stat().st_size
+        assert record["source"] == str(path)
+        assert record["tap"] == "feed"
+        assert record["generation"] == 0
+        assert sup.status()["offset"] == record["offset"]
+
+    def test_offset_not_rewritten_when_unchanged(self, tmp_path, clock):
+        sup, _ = make_tap(tmp_path, clock)
+        sup.poll()
+        sidecar = tmp_path / "feed.offset.json"
+        first_mtime = sidecar.stat().st_mtime_ns
+        clock.advance(0.1)
+        sup.poll()  # no new bytes: sidecar untouched
+        assert sidecar.stat().st_mtime_ns == first_mtime
+
+    def test_offset_tracks_growing_source(self, tmp_path, clock):
+        sup, path = make_tap(tmp_path, clock,
+                             messages=make_messages(days=1))
+        sup.poll()
+        before = json.loads(
+            (tmp_path / "feed.offset.json").read_text())["offset"]
+        from tests.taps.test_session import append_feed
+        append_feed(path, make_messages(days=1, start_day=1))
+        clock.advance(0.1)
+        sup.poll()
+        after = json.loads(
+            (tmp_path / "feed.offset.json").read_text())["offset"]
+        assert after == path.stat().st_size > before

@@ -9,10 +9,10 @@ to the serial one, otherwise the timing is meaningless.
 
 The measurements are written both as a paper-vs-measured style block in
 ``benchmarks/latest_results.txt`` and as machine-readable JSON in
-``benchmarks/BENCH_parallel.json`` (committed, so speedups are tracked
-across PRs; regenerate on a multi-core box for meaningful ratios — on a
-single-CPU host the pool cannot beat the serial path and the file
-records exactly that).
+``benchmarks/BENCH_parallel.json`` (committed, with each re-run pushed
+onto a dated ``history`` so speedups are tracked across PRs; regenerate
+on a multi-core box for meaningful ratios — on a single-CPU host the
+pool cannot beat the serial path and the file records exactly that).
 
 Scale knobs (kept separate from the main benchmark corpus so the two
 full ``run_all`` passes stay affordable)::
@@ -22,14 +22,13 @@ full ``run_all`` passes stay affordable)::
     REPRO_BENCH_PAR_SEED   default 7
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import record_bench_json, report
 from repro import AnalysisPipeline, ControlPlaneCorpus, DataPlaneCorpus
 from repro.cli import _load_platform
 from repro.corpus.manifest import CONTROL_FILE, DATA_FILE
@@ -112,8 +111,7 @@ def test_bench_parallel_engine(par_config, tmp_path_factory):
                     "cache_hits": cache_hits},
         "golden_equivalent": True,
     }
-    RESULTS_JSON.write_text(json.dumps(results, indent=2, sort_keys=True)
-                            + "\n")
+    record_bench_json(RESULTS_JSON, results)
 
     note = ("" if (os.cpu_count() or 1) > 1 else
             "  [single-CPU host: pool pays fork overhead, no speedup "

@@ -41,11 +41,22 @@ RESULTS_PATH = Path(__file__).with_name("latest_results.txt")
 _TELEM = None
 _ACTIVATION = None
 _STARTED = None
+#: where this session's blocks begin inside ``latest_results.txt`` —
+#: earlier sessions' blocks are history and stay put
+_SESSION_OFFSET = 0
 
 
 def pytest_configure(config):
-    global _TELEM, _ACTIVATION, _STARTED
-    RESULTS_PATH.write_text("")
+    global _TELEM, _ACTIVATION, _STARTED, _SESSION_OFFSET
+    # append a dated session header instead of truncating: the file is
+    # committed, and silently erasing previous measurements made every
+    # checkout look freshly benchmarked when it wasn't
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S %z")
+    header = (f"##### bench session {stamp} (scale={BENCH_SCALE}, "
+              f"days={BENCH_DAYS:g}, seed={BENCH_SEED}) #####\n\n")
+    with RESULTS_PATH.open("a", encoding="utf-8") as fh:
+        _SESSION_OFFSET = fh.tell()
+        fh.write(header)
     if BENCH_TRACE or BENCH_METRICS:
         _TELEM = telemetry.Telemetry()
         _ACTIVATION = telemetry.activate(_TELEM)
@@ -71,10 +82,14 @@ def pytest_unconfigure(config):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Replay every paper-vs-measured block into the terminal summary —
-    this is the same channel the benchmark table uses, so the comparison
-    survives redirects and tee."""
-    text = RESULTS_PATH.read_text() if RESULTS_PATH.exists() else ""
+    """Replay this session's paper-vs-measured blocks into the terminal
+    summary — this is the same channel the benchmark table uses, so the
+    comparison survives redirects and tee."""
+    text = ""
+    if RESULTS_PATH.exists():
+        with RESULTS_PATH.open(encoding="utf-8") as fh:
+            fh.seek(_SESSION_OFFSET)
+            text = fh.read()
     if text.strip():
         terminalreporter.section("paper vs measured")
         for line in text.splitlines():
@@ -90,6 +105,35 @@ def report(title: str, *lines: str) -> None:
     block = [f"=== {title} ==="] + list(lines)
     with RESULTS_PATH.open("a", encoding="utf-8") as fh:
         fh.write("\n".join(block) + "\n\n")
+
+
+def record_bench_json(path: Path, results: dict) -> dict:
+    """Write ``results`` as the dated ``latest`` entry of a committed
+    BENCH_*.json file, pushing any previous latest onto ``history``.
+
+    Measurements are append-only: re-running a bench never erases the
+    numbers an earlier PR recorded.  Pre-history files (a bare results
+    object) are adopted as the first history entry.
+    """
+    import json
+
+    document = {"history": []}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except ValueError:
+            previous = None
+        if isinstance(previous, dict) and "latest" in previous:
+            document["history"] = list(previous.get("history", []))
+            if previous["latest"]:
+                document["history"].append(previous["latest"])
+        elif isinstance(previous, dict) and previous:
+            previous.setdefault("recorded", "pre-history")
+            document["history"].append(previous)
+    document["latest"] = dict(results,
+                              recorded=time.strftime("%Y-%m-%d %H:%M:%S"))
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,93 @@
+"""Engine selection: records vs columnar, and the sidecar lifecycle
+policy behind ``analyze --engine {auto,columnar,records}``.
+
+* ``records`` — the reference path: a plain
+  :class:`~repro.core.pipeline.AnalysisPipeline`.
+* ``columnar`` — always a :class:`~repro.columnar.pipeline
+  .ColumnarPipeline`; with a corpus directory at hand, missing / stale /
+  damaged sidecars are (re-)derived so subsequent runs mmap them.
+* ``auto`` (the default) — columnar *iff* fresh sidecars already exist
+  and open cleanly; it never writes anything, so ``analyze`` on a
+  pre-columnar corpus behaves exactly as before.
+
+Every resolution is recorded on the ``columnar.engine`` telemetry
+counter so the live ops plane can see which path served a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro import telemetry
+from repro.columnar.pipeline import ColumnarPipeline
+from repro.columnar.store import (
+    CorpusColumns,
+    derive_sidecars,
+    sidecar_paths,
+    sidecars_fresh,
+)
+from repro.core.pipeline import AnalysisPipeline
+from repro.errors import AnalysisError, ColumnarError, ReproError
+
+#: the CLI/API engine vocabulary
+ENGINES = ("auto", "columnar", "records")
+
+
+def _open_fresh(corpus_dir: Path) -> Optional[CorpusColumns]:
+    """Open the sidecars when present AND still bound to the corpus
+    files; ``None`` when unusable for any reason."""
+    control_path, data_path = sidecar_paths(corpus_dir)
+    if not (control_path.exists() and data_path.exists()):
+        return None
+    try:
+        columns = CorpusColumns.open(corpus_dir)
+    except ColumnarError:
+        return None
+    if not sidecars_fresh(corpus_dir, columns):
+        telemetry.current().counter("columnar.sidecars",
+                                    outcome="stale").inc()
+        return None
+    return columns
+
+
+def build_pipeline(control, data, peer_asns, *, engine: str = "auto",
+                   corpus_dir: str | Path | None = None,
+                   **pipeline_kwargs) -> AnalysisPipeline:
+    """Build the pipeline for an engine choice.
+
+    ``pipeline_kwargs`` are the usual :class:`AnalysisPipeline` keyword
+    arguments (``peeringdb``, ``route_server_asn``, ``delta``,
+    ``host_min_days``).  The resolved engine lands on the
+    ``columnar.engine`` telemetry counter.
+    """
+    if engine not in ENGINES:
+        raise AnalysisError(
+            f"unknown analysis engine {engine!r} (choose from "
+            f"{', '.join(ENGINES)})")
+    telem = telemetry.current()
+    columns: Optional[CorpusColumns] = None
+    if engine == "records":
+        telem.counter("columnar.engine", resolved="records",
+                      requested=engine).inc()
+        return AnalysisPipeline(control, data, peer_asns, **pipeline_kwargs)
+    if corpus_dir is not None:
+        corpus_dir = Path(corpus_dir)
+        columns = _open_fresh(corpus_dir)
+        if columns is None and engine == "columnar":
+            # heal: re-derive from the finalized corpus files, then mmap
+            try:
+                derive_sidecars(corpus_dir)
+                columns = _open_fresh(corpus_dir)
+            except (ReproError, OSError):
+                columns = None
+    if engine == "auto" and columns is None:
+        telem.counter("columnar.engine", resolved="records",
+                      requested=engine).inc()
+        return AnalysisPipeline(control, data, peer_asns, **pipeline_kwargs)
+    # engine == "columnar" without usable sidecars still runs columnar,
+    # encoding from the loaded corpora in memory
+    telem.counter("columnar.engine", resolved="columnar",
+                  requested=engine).inc()
+    return ColumnarPipeline(control, data, peer_asns, columns=columns,
+                            **pipeline_kwargs)

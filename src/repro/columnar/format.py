@@ -1,0 +1,265 @@
+"""The columnar segment file format (``.columnar/*.col``).
+
+One file holds one plane of one corpus as a struct-of-arrays batch:
+
+* 8-byte magic ``RCOL\\x01\\n\\x00\\x00`` (version byte inside the magic),
+* little-endian ``u4`` header length,
+* a UTF-8 JSON header describing the payload — row count, column
+  descriptors (name, dtype, byte offset, byte length), the SHA-256 of
+  the payload, and the *source binding*: the name and SHA-256 of the
+  corpus file the columns were derived from,
+* zero padding up to a 64-byte boundary,
+* the column payloads, each 64-byte aligned, concatenated.
+
+Columns open as zero-copy views over one shared ``np.memmap``, so
+parallel analysis workers forked from the same parent read the same
+physical pages.  Opening performs *structural* checks only (magic,
+header shape, offsets inside the payload, file length); it does NOT
+hash the payload — a flipped bit in a column therefore reaches the
+analyses, which is precisely what the differential-equivalence suite
+must be able to catch (see ``tests/columnar``).  ``verify_payload``
+performs the deep hash for ``repro validate`` and the doctor.
+
+Failure taxonomy mirrors the checkpoint journal's tolerance rules: a
+file shorter than its declared length raises
+:class:`~repro.errors.TornColumnarError` (recoverable — re-derive),
+every other structural defect raises
+:class:`~repro.errors.ColumnarError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ColumnarError, TornColumnarError
+
+#: file magic; the fifth byte is the format version
+MAGIC = b"RCOL\x01\n\x00\x00"
+#: header/payload alignment — one cache line, and a safe lcm of every
+#: column itemsize we store
+ALIGN = 64
+#: current header version (also encoded in the magic's version byte)
+VERSION = 1
+
+
+def _pad(n: int) -> int:
+    return (ALIGN - n % ALIGN) % ALIGN
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column's location inside the payload."""
+
+    name: str
+    dtype: str       # numpy dtype string, e.g. "<f8", "|b1"
+    offset: int      # byte offset from the start of the payload
+    nbytes: int
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "dtype": self.dtype,
+                "offset": self.offset, "nbytes": self.nbytes}
+
+
+def write_columnar(path: str | Path, plane: str,
+                   columns: Sequence[Tuple[str, np.ndarray]], *,
+                   rows: int, source_name: str, source_sha256: str,
+                   extra: Mapping[str, object] | None = None) -> dict:
+    """Atomically write one columnar segment file; returns its header.
+
+    ``columns`` are ``(name, 1-D array)`` pairs; arrays are written in
+    the given order, each 64-byte aligned.  ``rows`` is the logical
+    record count (columns may have other lengths — offset pools do).
+    """
+    from repro.runtime.atomic import atomic_writer
+
+    specs = []
+    offset = 0
+    payload_hash = hashlib.sha256()
+    blobs = []
+    for name, array in columns:
+        array = np.ascontiguousarray(array)
+        blob = array.tobytes()
+        specs.append(ColumnSpec(name=name, dtype=array.dtype.str,
+                                offset=offset, nbytes=len(blob)))
+        pad = _pad(len(blob))
+        blobs.append(blob + b"\x00" * pad)
+        payload_hash.update(blob)
+        payload_hash.update(b"\x00" * pad)
+        offset += len(blob) + pad
+    header = {
+        "version": VERSION,
+        "plane": plane,
+        "rows": int(rows),
+        "source": {"file": source_name, "sha256": source_sha256},
+        "columns": [s.to_json() for s in specs],
+        "payload_bytes": offset,
+        "payload_sha256": payload_hash.hexdigest(),
+    }
+    if extra:
+        header.update(dict(extra))
+    header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    prefix_len = len(MAGIC) + 4 + len(header_blob)
+    with atomic_writer(path, mode="wb") as fh:
+        fh.write(MAGIC)
+        fh.write(np.uint32(len(header_blob)).tobytes())
+        fh.write(header_blob)
+        fh.write(b"\x00" * _pad(prefix_len))
+        for blob in blobs:
+            fh.write(blob)
+    return header
+
+
+@dataclass
+class ColumnarSegment:
+    """An open (memory-mapped) columnar segment file."""
+
+    path: Path
+    header: dict
+    #: zero-copy views over the shared mmap, keyed by column name
+    columns: Dict[str, np.ndarray]
+    _raw: np.ndarray = None  # the uint8 mmap the views alias
+    _payload_start: int = 0
+
+    @property
+    def plane(self) -> str:
+        return str(self.header.get("plane", ""))
+
+    @property
+    def rows(self) -> int:
+        return int(self.header.get("rows", 0))
+
+    @property
+    def source_file(self) -> str:
+        return str(self.header.get("source", {}).get("file", ""))
+
+    @property
+    def source_sha256(self) -> str:
+        return str(self.header.get("source", {}).get("sha256", ""))
+
+    def verify_payload(self) -> None:
+        """Deep check: re-hash the payload against the header.
+
+        Raises :class:`ColumnarError` on drift.  This is the check
+        ``repro validate`` and the doctor run; the analysis path skips
+        it (structural checks only) for speed.
+        """
+        start = self._payload_start
+        end = start + int(self.header["payload_bytes"])
+        digest = hashlib.sha256(self._raw[start:end].tobytes()).hexdigest()
+        if digest != self.header.get("payload_sha256"):
+            raise ColumnarError(
+                f"{self.path}: payload SHA-256 drifted from the header "
+                "(flipped bits or a partial overwrite); re-derive the "
+                "columnar sidecar")
+
+
+def read_header(path: str | Path) -> Tuple[dict, int, int]:
+    """Parse and structurally validate a segment's header.
+
+    Returns ``(header, payload_start, file_size)``; raises the typed
+    errors documented in the module docstring.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            prefix = fh.read(len(MAGIC) + 4)
+            if len(prefix) < len(MAGIC) + 4:
+                raise TornColumnarError(
+                    f"{path}: file shorter than the fixed prelude "
+                    f"({size} bytes)")
+            if prefix[:4] != MAGIC[:4]:
+                raise ColumnarError(f"{path}: bad magic; not a columnar "
+                                    "segment file")
+            if prefix[:len(MAGIC)] != MAGIC:
+                raise ColumnarError(
+                    f"{path}: unsupported columnar format version "
+                    f"{prefix[4]} (supported: {VERSION})")
+            header_len = int(np.frombuffer(prefix[len(MAGIC):],
+                                           dtype="<u4")[0])
+            header_blob = fh.read(header_len)
+    except OSError as exc:
+        raise ColumnarError(f"{path}: cannot read: {exc}") from exc
+    if len(header_blob) < header_len:
+        raise TornColumnarError(
+            f"{path}: header truncated ({len(header_blob)} of "
+            f"{header_len} bytes)")
+    try:
+        header = json.loads(header_blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ColumnarError(f"{path}: garbled header JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("version") != VERSION:
+        raise ColumnarError(
+            f"{path}: header version {header.get('version')!r} "
+            f"unsupported (expected {VERSION})")
+    prefix_len = len(MAGIC) + 4 + header_len
+    payload_start = prefix_len + _pad(prefix_len)
+    try:
+        payload_bytes = int(header["payload_bytes"])
+        columns = header["columns"]
+        rows = int(header["rows"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ColumnarError(f"{path}: header missing required fields: "
+                            f"{exc}") from exc
+    if rows < 0 or payload_bytes < 0 or not isinstance(columns, list):
+        raise ColumnarError(f"{path}: nonsensical header values")
+    declared = payload_start + payload_bytes
+    if size < declared:
+        raise TornColumnarError(
+            f"{path}: torn tail — {size} bytes on disk, {declared} "
+            "declared by the header")
+    if size > declared:
+        raise ColumnarError(
+            f"{path}: {size - declared} trailing bytes past the declared "
+            "payload")
+    return header, payload_start, size
+
+
+def open_columnar(path: str | Path, *, verify: bool = False,
+                  ) -> ColumnarSegment:
+    """Memory-map a columnar segment file.
+
+    Structural validation always runs; ``verify=True`` additionally
+    hashes the payload (what ``validate``/``doctor`` do).
+    """
+    path = Path(path)
+    header, payload_start, size = read_header(path)
+    if size > 0:
+        try:
+            raw = np.memmap(path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise ColumnarError(f"{path}: cannot mmap: {exc}") from exc
+    else:  # pragma: no cover - read_header already rejects empty files
+        raw = np.zeros(0, dtype=np.uint8)
+    columns: Dict[str, np.ndarray] = {}
+    payload_bytes = int(header["payload_bytes"])
+    for spec in header["columns"]:
+        try:
+            name = spec["name"]
+            dtype = np.dtype(spec["dtype"])
+            offset = int(spec["offset"])
+            nbytes = int(spec["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ColumnarError(
+                f"{path}: bad column descriptor {spec!r}: {exc}") from exc
+        if offset < 0 or nbytes < 0 or offset + nbytes > payload_bytes:
+            raise ColumnarError(
+                f"{path}: column {name!r} extends past the payload "
+                f"([{offset}, {offset + nbytes}) of {payload_bytes})")
+        if dtype.itemsize == 0 or nbytes % dtype.itemsize:
+            raise ColumnarError(
+                f"{path}: column {name!r} length {nbytes} not a multiple "
+                f"of itemsize {dtype.itemsize}")
+        start = payload_start + offset
+        columns[name] = raw[start:start + nbytes].view(dtype)
+    segment = ColumnarSegment(path=path, header=header, columns=columns,
+                              _raw=raw, _payload_start=payload_start)
+    if verify:
+        segment.verify_payload()
+    return segment

@@ -1,0 +1,299 @@
+"""The corpus-local columnar store: ``.columnar/control.col`` +
+``.columnar/data.col``.
+
+A :class:`CorpusColumns` is the handle the columnar pipeline computes
+from.  It comes in two flavors with identical semantics:
+
+* **memory-backed** (:meth:`CorpusColumns.from_corpora`): columns copied
+  out of already-loaded corpora — used when no sidecar exists, when the
+  sidecar is stale, or by the streaming engine over its in-memory
+  accumulated corpora;
+* **mmap-backed** (:meth:`CorpusColumns.open`): zero-copy views over the
+  sidecar files, shared read-only by every forked analysis worker.
+
+The sidecar directory is dot-prefixed, so :func:`build_manifest`
+excludes it — deriving or deleting sidecars never changes the corpus
+digest, result-cache keys, or golden checksums.  Freshness is a *source
+binding*: each sidecar header records the SHA-256 of the corpus file it
+was derived from, checked against ``manifest.json`` (cheap) or a
+re-hash (no manifest) before an mmap-backed open is trusted.
+
+Sidecars hold the corpus in **canonical strict form**: records exactly
+as a strict loader would see them, in the corpora's time-sorted order.
+When a lenient ingest dropped records, the in-memory corpus no longer
+matches that canonical form and callers must fall back to
+:meth:`from_corpora` — :meth:`matches` makes that check explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.columnar.encode import (
+    encode_packets,
+    encode_updates,
+)
+from repro.columnar.format import open_columnar, write_columnar
+from repro.errors import ColumnarError
+from repro.net.ip import IPv4Prefix
+
+#: sidecar locations inside a corpus directory (dot-prefixed: excluded
+#: from the manifest, invisible to corpus digests)
+COLUMNAR_DIR = ".columnar"
+CONTROL_COL_FILE = "control.col"
+DATA_COL_FILE = "data.col"
+
+#: journal keys committed after a generate-time sidecar write
+COLUMNAR_CONTROL_KEY = "columnar:control"
+COLUMNAR_DATA_KEY = "columnar:data"
+
+
+def columnar_dir(corpus_dir: str | Path) -> Path:
+    return Path(corpus_dir) / COLUMNAR_DIR
+
+
+def sidecar_paths(corpus_dir: str | Path) -> Tuple[Path, Path]:
+    root = columnar_dir(corpus_dir)
+    return root / CONTROL_COL_FILE, root / DATA_COL_FILE
+
+
+@dataclass
+class CorpusColumns:
+    """Struct-of-arrays views of both corpus planes.
+
+    ``control`` and ``data`` map column names to 1-D arrays (see
+    :mod:`repro.columnar.encode` for the schemas).  Arrays may alias a
+    read-only mmap — treat them as immutable.
+    """
+
+    control: Dict[str, np.ndarray]
+    data: Dict[str, np.ndarray]
+    sampling_rate: int
+    #: "memory" | "mmap"
+    backing: str = "memory"
+    #: source SHA-256 bindings when mmap-backed (control, data)
+    sources: Optional[Dict[str, str]] = None
+
+    @property
+    def control_rows(self) -> int:
+        return len(self.control["time"])
+
+    @property
+    def data_rows(self) -> int:
+        return len(self.data["time"])
+
+    def matches(self, control_corpus, data_corpus) -> bool:
+        """Whether these columns describe exactly the given corpora.
+
+        Row counts are the cheap proxy: sidecars store the canonical
+        strict form, so a lenient ingest that dropped records (or any
+        other divergence) shows up as a count mismatch and the caller
+        rebuilds from memory instead.
+        """
+        return (self.control_rows == len(control_corpus)
+                and self.data_rows == len(data_corpus))
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_corpora(cls, control_corpus, data_corpus) -> "CorpusColumns":
+        """Columnize already-loaded corpora in memory."""
+        with telemetry.current().span("columnar.encode",
+                                      control=len(control_corpus),
+                                      data=len(data_corpus)):
+            control = dict(encode_updates(list(control_corpus)))
+            data = dict(encode_packets(data_corpus.packets))
+        return cls(control=control, data=data,
+                   sampling_rate=data_corpus.sampling_rate,
+                   backing="memory")
+
+    @classmethod
+    def open(cls, corpus_dir: str | Path, *,
+             verify: bool = False) -> "CorpusColumns":
+        """Memory-map the sidecars of ``corpus_dir``.
+
+        Raises :class:`~repro.errors.ColumnarError` /
+        :class:`~repro.errors.TornColumnarError` when either sidecar is
+        missing or unusable; freshness against the corpus files is the
+        caller's concern (:func:`sidecars_fresh`).
+        """
+        control_path, data_path = sidecar_paths(corpus_dir)
+        for path in (control_path, data_path):
+            if not path.exists():
+                raise ColumnarError(
+                    f"{path}: columnar sidecar missing (derive it with "
+                    "`repro analyze --engine columnar` or regenerate)")
+        control_seg = open_columnar(control_path, verify=verify)
+        data_seg = open_columnar(data_path, verify=verify)
+        for seg, plane in ((control_seg, "control"), (data_seg, "data")):
+            if seg.plane != plane:
+                raise ColumnarError(
+                    f"{seg.path}: header says plane {seg.plane!r}, "
+                    f"expected {plane!r}")
+        try:
+            rate = int(data_seg.header["sampling_rate"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ColumnarError(
+                f"{data_path}: header lacks a usable sampling_rate: "
+                f"{exc}") from exc
+        telemetry.current().counter("columnar.sidecars",
+                                    outcome="opened").inc()
+        return cls(control=control_seg.columns, data=data_seg.columns,
+                   sampling_rate=rate, backing="mmap",
+                   sources={"control": control_seg.source_sha256,
+                            "data": data_seg.source_sha256})
+
+    # -- derived packet views ------------------------------------------
+
+    def packed_packets(self) -> np.ndarray:
+        """The data plane as one ``PACKET_DTYPE`` record array.
+
+        Materialized once and cached — the record-path twin functions
+        (and the ``window_packets`` hooks) consume packet subsets in
+        packed form, so gathers come from here.
+        """
+        from repro.columnar.encode import decode_packets
+
+        cached = getattr(self, "_packed", None)
+        if cached is None:
+            cached = decode_packets(self.data)
+            self._packed = cached
+        return cached
+
+    def use_packed(self, packets: np.ndarray) -> None:
+        """Adopt an existing packed array (the already-loaded corpus) so
+        gathers need no re-materialization."""
+        if len(packets) == self.data_rows:
+            self._packed = packets
+
+    def prefixes(self) -> Dict[Tuple[int, int], IPv4Prefix]:
+        """Interned ``(net, len) -> IPv4Prefix`` for the control plane."""
+        cached = getattr(self, "_prefixes", None)
+        if cached is None:
+            net = self.control["prefix_net"]
+            plen = self.control["prefix_len"]
+            cached = {}
+            for n, l in zip(net.tolist(), plen.tolist()):
+                key = (n, l)
+                if key not in cached:
+                    cached[key] = IPv4Prefix(n, l)
+            self._prefixes = cached
+        return cached
+
+
+# -- sidecar lifecycle -------------------------------------------------
+
+
+def write_sidecars(corpus_dir: str | Path, control_corpus, data_corpus, *,
+                   control_sha256: str, data_sha256: str,
+                   journal=None) -> Tuple[Path, Path]:
+    """Write both sidecars from loaded corpora, atomically.
+
+    ``control_sha256`` / ``data_sha256`` bind the sidecars to the exact
+    corpus files they mirror.  With ``journal`` given (the generate
+    checkpoint journal), each sidecar write is committed under its
+    ``columnar:*`` key so resumed runs can account for it.
+    """
+    from repro.corpus.manifest import file_sha256
+
+    root = columnar_dir(corpus_dir)
+    root.mkdir(exist_ok=True)
+    control_path, data_path = sidecar_paths(corpus_dir)
+    telem = telemetry.current()
+    with telem.span("columnar.write", corpus=str(corpus_dir)):
+        write_columnar(
+            control_path, "control", encode_updates(list(control_corpus)),
+            rows=len(control_corpus), source_name="control.jsonl",
+            source_sha256=control_sha256)
+        write_columnar(
+            data_path, "data", encode_packets(data_corpus.packets),
+            rows=len(data_corpus), source_name="data.npz",
+            source_sha256=data_sha256,
+            extra={"sampling_rate": int(data_corpus.sampling_rate)})
+    telem.counter("columnar.sidecars", outcome="written").inc(2)
+    if journal is not None:
+        journal.commit(COLUMNAR_CONTROL_KEY,
+                       sha256=file_sha256(control_path),
+                       source_sha256=control_sha256,
+                       rows=len(control_corpus))
+        journal.commit(COLUMNAR_DATA_KEY,
+                       sha256=file_sha256(data_path),
+                       source_sha256=data_sha256,
+                       rows=len(data_corpus))
+    return control_path, data_path
+
+
+def source_checksums(corpus_dir: str | Path) -> Dict[str, Optional[str]]:
+    """Current SHA-256 of both corpus files, from the manifest when it
+    is available (cheap) or by hashing (no manifest)."""
+    import json
+
+    from repro.corpus.manifest import (
+        CONTROL_FILE,
+        DATA_FILE,
+        MANIFEST_FILE,
+        file_sha256,
+    )
+
+    corpus_dir = Path(corpus_dir)
+    out: Dict[str, Optional[str]] = {"control": None, "data": None}
+    files = {}
+    manifest_path = corpus_dir / MANIFEST_FILE
+    if manifest_path.exists():
+        try:
+            files = json.loads(manifest_path.read_text()).get("files", {})
+        except (OSError, ValueError):
+            files = {}
+    for plane, name in (("control", CONTROL_FILE), ("data", DATA_FILE)):
+        recorded = files.get(name, {}).get("sha256") \
+            if isinstance(files.get(name), dict) else None
+        if recorded:
+            out[plane] = str(recorded)
+        elif (corpus_dir / name).exists():
+            out[plane] = file_sha256(corpus_dir / name)
+    return out
+
+
+def sidecars_fresh(corpus_dir: str | Path,
+                   columns: CorpusColumns) -> bool:
+    """Whether mmap-backed columns still describe the corpus files."""
+    if columns.backing != "mmap" or not columns.sources:
+        return True
+    current = source_checksums(corpus_dir)
+    for plane in ("control", "data"):
+        if current[plane] is None \
+                or current[plane] != columns.sources.get(plane):
+            return False
+    return True
+
+
+def derive_sidecars(corpus_dir: str | Path, *, journal=None,
+                    ) -> Tuple[Path, Path]:
+    """(Re-)derive both sidecars from the finalized corpus files.
+
+    Loads both planes strictly — sidecars always hold the canonical
+    strict form — and binds them to the files' current checksums.  This
+    is the doctor's ``rederive-columnar`` repair action and the lazy
+    path behind ``analyze --engine columnar`` on a pre-columnar corpus.
+    """
+    from repro.corpus.control import ControlPlaneCorpus
+    from repro.corpus.data import DataPlaneCorpus
+    from repro.corpus.manifest import CONTROL_FILE, DATA_FILE, file_sha256
+
+    corpus_dir = Path(corpus_dir)
+    telem = telemetry.current()
+    with telem.span("columnar.derive", corpus=str(corpus_dir)):
+        control = ControlPlaneCorpus.load_jsonl(corpus_dir / CONTROL_FILE)
+        data = DataPlaneCorpus.load_npz(corpus_dir / DATA_FILE)
+        paths = write_sidecars(
+            corpus_dir, control, data,
+            control_sha256=file_sha256(corpus_dir / CONTROL_FILE),
+            data_sha256=file_sha256(corpus_dir / DATA_FILE),
+            journal=journal)
+    telem.counter("columnar.sidecars", outcome="derived").inc()
+    return paths

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -180,15 +180,22 @@ def classify_pre_rtbh_events(
     events: Sequence[RTBHEvent],
     detector: EWMAAnomalyDetector | None = None,
     anomaly_horizon_min: float = 10.0,
+    window_packets: Optional[Callable[[RTBHEvent], np.ndarray]] = None,
 ) -> PreRTBHClassification:
-    """Run the full §5.2–5.3 pipeline over all events."""
+    """Run the full §5.2–5.3 pipeline over all events.
+
+    ``window_packets`` swaps the pre-window gather (slice + prefix mask)
+    — the columnar engine passes a closure over precomputed row indices
+    returning the exact array the default path would build.
+    """
     detector = detector or EWMAAnomalyDetector(AnomalyConfig())
     result = PreRTBHClassification()
     corpus_start = data.start_time if len(data) else 0.0
     for event in events:
+        window = window_packets(event) if window_packets is not None else None
         result.events.append(classify_single_event(
             data, event, detector, corpus_start=corpus_start,
-            anomaly_horizon_min=anomaly_horizon_min))
+            anomaly_horizon_min=anomaly_horizon_min, window=window))
     return result
 
 
@@ -199,6 +206,7 @@ def classify_single_event(
     *,
     corpus_start: float,
     anomaly_horizon_min: float = 10.0,
+    window: Optional[np.ndarray] = None,
 ) -> PreRTBHEvent:
     """Classify one event's 72 h pre-window.
 
@@ -206,10 +214,14 @@ def classify_single_event(
     fixed ``corpus_start``), so the streaming engine classifies each
     event exactly once — at the watermark where it first appears — and
     the outcome never changes as the corpus grows.
+
+    ``window`` supplies the pre-window prefix packets directly (already
+    sliced and masked); default ``None`` computes them from ``data``.
     """
     window_start = event.start - PRE_WINDOW
-    window = data.slice_time(window_start, event.start)
-    window = window[_dst_mask(window, event.prefix)]
+    if window is None:
+        window = data.slice_time(window_start, event.start)
+        window = window[_dst_mask(window, event.prefix)]
     total = len(window)
     if total == 0:
         return PreRTBHEvent(

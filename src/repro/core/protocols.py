@@ -9,7 +9,7 @@ All statistics are per event to keep heavy hitters from biasing the mix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -66,17 +66,25 @@ def event_protocol_mix(
     data: DataPlaneCorpus,
     events: Sequence[RTBHEvent],
     classification: PreRTBHClassification,
+    window_packets: Optional[Callable[[RTBHEvent], np.ndarray]] = None,
 ) -> EventProtocolMix:
-    """Compute the §5.4 statistics (and the Table 3 input)."""
+    """Compute the §5.4 statistics (and the Table 3 input).
+
+    ``window_packets`` swaps the per-event packet gather — the columnar
+    engine passes a closure over precomputed row indices that returns the
+    exact array :func:`event_window_packets` would build.
+    """
     if len(events) != len(classification.events):
         raise AnalysisError("events and classification must align")
+    if window_packets is None:
+        window_packets = lambda event: event_window_packets(data, event)  # noqa: E731
     by_id = {e.event_id: e for e in classification.events}
     with_data = 0
     with_data_and_anomaly = 0
     shares_acc: Dict[IPProtocol, List[float]] = {p: [] for p in IPProtocol}
     amp_counts: List[int] = []
     for event in events:
-        packets = event_window_packets(data, event)
+        packets = window_packets(event)
         if len(packets) == 0:
             continue
         with_data += 1

@@ -155,7 +155,10 @@ def checkpointed_generate(
         finalized = journal.committed(FINALIZE_KEY)
         if finalized is not None and (out / MANIFEST_FILE).exists():
             report.already_complete = True
-            report.segments_total = max(0, len(journal) - 1)
+            # count only day segments — the journal also carries the
+            # finalize and columnar:* commits
+            report.segments_total = sum(
+                1 for key in journal.keys() if key.startswith("segment:"))
             report.control_messages = finalized.get("control_messages", 0)
             report.data_packets = finalized.get("data_packets", 0)
             report.manifest_path = str(out / MANIFEST_FILE)
@@ -337,12 +340,22 @@ def _finalize(result: ScenarioResult, out: Path, seg_dir: Path,
     report.control_messages = counts["control_messages"]
     report.data_packets = counts["data_packets"]
     report.manifest_path = str(manifest_path)
+    control_sha256 = file_sha256(out / CONTROL_FILE)
+    data_sha256 = file_sha256(out / DATA_FILE)
+    # columnar sidecars ride along with every generate: written before
+    # the finalize commit so a resumed run re-derives them too, bound to
+    # the exact corpus checksums the finalize record carries
+    from repro.columnar.store import write_sidecars
+
+    write_sidecars(out, result.control, result.data,
+                   control_sha256=control_sha256, data_sha256=data_sha256,
+                   journal=journal)
     journal.commit(
         FINALIZE_KEY,
         control_messages=counts["control_messages"],
         data_packets=counts["data_packets"],
-        control_sha256=file_sha256(out / CONTROL_FILE),
-        data_sha256=file_sha256(out / DATA_FILE),
+        control_sha256=control_sha256,
+        data_sha256=data_sha256,
     )
 
 

@@ -1,0 +1,44 @@
+"""Fixtures for the differential-equivalence suite: the columnar twin
+of the session-wide tiny pipeline, plus helpers that hold a record-path
+and a columnar-path pipeline to identical fingerprints."""
+
+import pytest
+
+from repro.columnar.pipeline import ColumnarPipeline
+from repro.core.study import run_analysis
+
+
+@pytest.fixture(scope="session")
+def col_pipeline(tiny_result):
+    """The columnar twin of ``tiny_pipeline`` over the same corpora."""
+    return ColumnarPipeline(
+        tiny_result.control,
+        tiny_result.data,
+        peer_asns=tiny_result.ixp.member_asns,
+        peeringdb=tiny_result.ixp.peeringdb,
+        host_min_days=8,
+    )
+
+
+def outcome(pipeline, name):
+    """One analysis under the same harness ``run_all`` uses — errors are
+    captured, values fingerprinted."""
+    return run_analysis(name, pipeline.analysis_fn(name), strict=False,
+                        degraded_inputs=False, fingerprint=True)
+
+
+def assert_twin_outcomes(record_pipeline, columnar_pipeline, name):
+    """The equivalence contract: status, error class, and value
+    fingerprint must all match between the two engines."""
+    rec = outcome(record_pipeline, name)
+    col = outcome(columnar_pipeline, name)
+    assert (col.status, col.error_type) == (rec.status, rec.error_type), (
+        f"{name}: columnar ran {col.status}/{col.error_type} "
+        f"({col.error}), records ran {rec.status}/{rec.error_type} "
+        f"({rec.error})")
+    if rec.status == "error":
+        assert col.error == rec.error, name
+    assert col.value_digest == rec.value_digest, (
+        f"{name}: columnar fingerprint {col.value_digest} != "
+        f"record fingerprint {rec.value_digest}")
+    return rec, col

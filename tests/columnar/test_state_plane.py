@@ -1,0 +1,151 @@
+"""State-plane integration of the sidecars: ``repro validate`` codes,
+the doctor's ``columnar-segment`` damage + ``rederive-columnar`` repair,
+and the meta-test proving the differential harness actually catches a
+flipped payload bit."""
+
+import shutil
+
+import pytest
+
+from repro.columnar.format import open_columnar, read_header
+from repro.columnar.pipeline import ColumnarPipeline
+from repro.columnar.store import CorpusColumns, sidecar_paths
+from repro.core.pipeline import AnalysisPipeline
+from repro.core.registry import columnar_names
+from repro.corpus import ControlPlaneCorpus, DataPlaneCorpus
+from repro.corpus.manifest import CONTROL_FILE, DATA_FILE, validate_corpus
+from repro.doctor import repair_corpus, scrub_corpus
+from repro.errors import ColumnarError
+
+from tests.columnar.conftest import assert_twin_outcomes, outcome
+
+
+@pytest.fixture()
+def corpus(stream_corpus, tmp_path):
+    target = tmp_path / "corpus"
+    shutil.copytree(stream_corpus, target)
+    return target
+
+
+def _codes(report):
+    return {issue.code for issue in report.issues}
+
+
+class TestValidate:
+    def test_clean_corpus_has_no_columnar_issues(self, corpus):
+        assert not any(code.startswith("columnar")
+                       for code in _codes(validate_corpus(corpus)))
+
+    def test_torn_sidecar(self, corpus):
+        _, data_col = sidecar_paths(corpus)
+        raw = data_col.read_bytes()
+        data_col.write_bytes(raw[:len(raw) - 7])
+        assert "columnar-torn" in _codes(validate_corpus(corpus))
+
+    def test_corrupt_payload(self, corpus):
+        _, data_col = sidecar_paths(corpus)
+        raw = bytearray(data_col.read_bytes())
+        raw[-1] ^= 0x01
+        data_col.write_bytes(bytes(raw))
+        assert "columnar-corrupt" in _codes(validate_corpus(corpus))
+
+    def test_partial_pair(self, corpus):
+        control_col, _ = sidecar_paths(corpus)
+        control_col.unlink()
+        assert "columnar-partial" in _codes(validate_corpus(corpus))
+
+    def test_stale_binding(self, corpus):
+        # rebind the data sidecar to a bogus source checksum
+        _, data_col = sidecar_paths(corpus)
+        raw = bytearray(data_col.read_bytes())
+        header, _, _ = read_header(data_col)
+        recorded = header["source"]["sha256"].encode()
+        flipped = bytes(recorded[:-4]) + (b"0000" if recorded[-4:] != b"0000"
+                                          else b"1111")
+        index = raw.find(recorded)
+        raw[index:index + len(recorded)] = flipped
+        data_col.write_bytes(bytes(raw))
+        report = validate_corpus(corpus)
+        assert "columnar-stale" in _codes(report)
+
+
+class TestDoctor:
+    def test_clean_scrub(self, corpus):
+        assert scrub_corpus(corpus).clean
+
+    def test_damage_and_repair_round_trip(self, corpus):
+        control_col, data_col = sidecar_paths(corpus)
+        raw = bytearray(data_col.read_bytes())
+        raw[-1] ^= 0xFF
+        data_col.write_bytes(bytes(raw))
+        control_col.unlink()
+        report = scrub_corpus(corpus)
+        damages = [d for d in report.damages
+                   if d.kind == "columnar-segment"]
+        assert {d.damage for d in damages} == {"missing", "garbled"}
+        # sidecars are derived state: warnings, one shared repair plan
+        assert all(d.severity == "warning" for d in damages)
+        assert {d.plan for d in damages} == {"rederive-columnar"}
+        result = repair_corpus(corpus, report)
+        assert result.ok
+        rederives = [a for a in result.actions
+                     if a.plan == "rederive-columnar"]
+        assert len(rederives) == 1  # the pair heals in one derivation
+        assert scrub_corpus(corpus).clean
+        CorpusColumns.open(corpus, verify=True)
+
+    def test_shallow_scrub_skips_payload_hash(self, corpus):
+        _, data_col = sidecar_paths(corpus)
+        raw = bytearray(data_col.read_bytes())
+        raw[-1] ^= 0xFF
+        data_col.write_bytes(bytes(raw))
+        assert scrub_corpus(corpus, deep=False).clean
+        assert not scrub_corpus(corpus, deep=True).clean
+
+
+class TestMetaCorruption:
+    """Flip one payload byte the analyses actually read and prove the
+    differential harness fails — the suite's own smoke detector."""
+
+    def _flip_blackhole_bit(self, corpus):
+        control_col, _ = sidecar_paths(corpus)
+        header, payload_start, _ = read_header(control_col)
+        spec = next(c for c in header["columns"]
+                    if c["name"] == "blackhole")
+        raw = bytearray(control_col.read_bytes())
+        start = payload_start + spec["offset"]
+        for i in range(start, start + spec["nbytes"]):
+            if raw[i]:  # the first blackhole announcement
+                raw[i] = 0
+                break
+        else:  # pragma: no cover - seeded corpus always has RTBH traffic
+            pytest.fail("no blackhole bit to flip")
+        control_col.write_bytes(bytes(raw))
+
+    def test_flipped_bit_fails_the_differential_suite(self, corpus):
+        self._flip_blackhole_bit(corpus)
+        control = ControlPlaneCorpus.load_jsonl(corpus / CONTROL_FILE)
+        data = DataPlaneCorpus.load_npz(corpus / DATA_FILE)
+        # structural open succeeds by design — flipped payload bits must
+        # reach the analyses so equivalence checks can catch them
+        columns = CorpusColumns.open(corpus)
+        record = AnalysisPipeline(control, data, [100], host_min_days=1)
+        columnar = ColumnarPipeline(control, data, [100], host_min_days=1,
+                                    columns=columns)
+        diverged = []
+        for name in columnar_names():
+            rec, col = outcome(record, name), outcome(columnar, name)
+            if (col.status, col.value_digest) != (rec.status,
+                                                  rec.value_digest):
+                diverged.append(name)
+        assert diverged, ("a flipped blackhole bit must change at least "
+                          "one columnar fingerprint")
+        with pytest.raises(AssertionError):
+            for name in columnar_names():
+                assert_twin_outcomes(record, columnar, name)
+
+    def test_flipped_bit_fails_deep_verify(self, corpus):
+        self._flip_blackhole_bit(corpus)
+        control_col, _ = sidecar_paths(corpus)
+        with pytest.raises(ColumnarError, match="SHA-256"):
+            open_columnar(control_col, verify=True)
